@@ -1,0 +1,115 @@
+// Command shahin-bench regenerates the tables and figures of the paper's
+// evaluation section (plus this repo's ablations) on the synthetic
+// dataset twins.
+//
+// Usage:
+//
+//	shahin-bench                      # every experiment, laptop scale
+//	shahin-bench -exp fig2,fig6      # specific experiments
+//	shahin-bench -full               # larger workloads (minutes)
+//	shahin-bench -list               # available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"shahin/internal/bench"
+)
+
+// experiments maps experiment ids to their runners.
+var experiments = map[string]struct {
+	desc string
+	run  func(bench.Config) (*bench.Table, error)
+}{
+	"table1":       {"Table 1: dataset characteristics + per-tuple seconds", bench.Table1},
+	"fig2":         {"Figure 2: Shahin vs DIST-k and GREEDY baselines", bench.Figure2},
+	"fig3":         {"Figure 3: Shahin-Batch speedup across datasets", bench.Figure3},
+	"fig4":         {"Figure 4: Shahin-Streaming speedup across datasets", bench.Figure4},
+	"fig5":         {"Figure 5: housekeeping overhead", bench.Figure5},
+	"fig6":         {"Figure 6: impact of tau", bench.Figure6},
+	"fig7":         {"Figure 7: impact of cache size", bench.Figure7},
+	"quality":      {"Explanation quality vs sequential baseline", bench.Quality},
+	"abl-sample":   {"Ablation A1: FIM sample-size heuristic", bench.AblationSample},
+	"abl-kernel":   {"Ablation A2: SHAP kernel size sampling", bench.AblationKernel},
+	"abl-border":   {"Ablation A3: streaming negative border", bench.AblationBorder},
+	"ext-sshap":    {"Extension: Sampling-Shapley under Shahin", bench.ExtSampleShapley},
+	"ext-approx":   {"Extension: approximation via reuse fraction", bench.ExtApproximate},
+	"ext-models":   {"Extension: speedup across classifiers", bench.ExtModels},
+	"ext-parallel": {"Extension: worker parallelism", bench.ExtParallel},
+}
+
+// order fixes the default execution order.
+var order = []string{
+	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+	"quality", "abl-sample", "abl-kernel", "abl-border",
+	"ext-sshap", "ext-approx", "ext-models", "ext-parallel",
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		full  = flag.Bool("full", false, "larger workloads (closer to paper scale; takes minutes)")
+		rows  = flag.Int("rows", 0, "override dataset rows")
+		batch = flag.Int("batch", 0, "override single-batch size")
+		seed  = flag.Int64("seed", 1, "master seed")
+		delay = flag.Duration("delay", 0, "override per-invocation classifier delay")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(experiments))
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-11s %s\n", id, experiments[id].desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed}.Fill()
+	if *full {
+		cfg.Rows = 20000
+		cfg.Batch = 1000
+		cfg.Batches = []int{100, 500, 1000, 2000}
+		cfg.LIMESamples = 1000
+		cfg.SHAPSamples = 1024
+	}
+	if *rows > 0 {
+		cfg.Rows = *rows
+	}
+	if *batch > 0 {
+		cfg.Batch = *batch
+	}
+	if *delay > 0 {
+		cfg.Delay = *delay
+	}
+
+	ids := order
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "shahin-bench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tab, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shahin-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s took %v)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

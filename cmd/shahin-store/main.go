@@ -1,0 +1,121 @@
+// Command shahin-store pre-computes explanations for a whole dataset with
+// a Shahin batch run and persists them, then serves lookups from the
+// store — the pre-compute-then-retrieve deployment the paper's
+// introduction motivates.
+//
+// Usage:
+//
+//	shahin-store -mode build -dataset census -rows 5000 -n 500 -o exps.gob
+//	shahin-store -mode lookup -dataset census -rows 5000 -store exps.gob -tuple 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shahin"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "build", "build or lookup")
+		name      = flag.String("dataset", "census", "dataset family: "+strings.Join(shahin.DatasetNames(), ", "))
+		rows      = flag.Int("rows", 5000, "synthetic rows")
+		n         = flag.Int("n", 500, "held-out tuples to pre-compute (build mode)")
+		explainer = flag.String("explainer", "lime", "lime, anchor, shap, or sshap")
+		out       = flag.String("o", "explanations.gob", "store output path (build mode)")
+		storePath = flag.String("store", "explanations.gob", "store path (lookup mode)")
+		tupleIdx  = flag.Int("tuple", 0, "held-out tuple index to look up (lookup mode)")
+		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
+	)
+	flag.Parse()
+
+	kind, err := shahin.ParseKind(*explainer)
+	if err != nil {
+		fatal(err)
+	}
+	// Both modes rebuild the same deterministic environment from the
+	// seed, so lookup indexes refer to the same held-out tuples.
+	data, err := shahin.GenerateDataset(*name, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	train, test := shahin.SplitDataset(data, 1.0/3, *seed+1)
+
+	switch *mode {
+	case "build":
+		stats, err := shahin.ComputeStats(train)
+		if err != nil {
+			fatal(err)
+		}
+		model, err := shahin.TrainForest(train, shahin.ForestConfig{NumTrees: 50, Seed: *seed + 2})
+		if err != nil {
+			fatal(err)
+		}
+		if *n > test.NumRows() {
+			*n = test.NumRows()
+		}
+		tuples := test.Rows(0, *n)
+		batch, err := shahin.NewBatch(stats, model, shahin.Options{Explainer: kind, Seed: *seed + 3})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := batch.ExplainAll(tuples)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := shahin.BuildExplanationStore(tuples, res.Explanations)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := st.Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pre-computed %d explanations in %v (%d classifier calls) -> %s\n",
+			res.Report.Tuples, res.Report.WallTime.Round(1e6), res.Report.Invocations, *out)
+
+	case "lookup":
+		f, err := os.Open(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		st, err := shahin.LoadExplanationStore(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *tupleIdx < 0 || *tupleIdx >= test.NumRows() {
+			fatal(fmt.Errorf("tuple index %d outside held-out set [0,%d)", *tupleIdx, test.NumRows()))
+		}
+		tuple := test.Row(*tupleIdx, nil)
+		exp, ok := st.Get(tuple)
+		if !ok {
+			fatal(fmt.Errorf("tuple %d not in store (was it within -n at build time?)", *tupleIdx))
+		}
+		if exp.Rule != nil {
+			fmt.Println(exp.Rule.Describe(test.Schema))
+			return
+		}
+		att := exp.Attribution
+		fmt.Printf("tuple %d -> class %s:", *tupleIdx, test.Schema.Classes[att.Class])
+		for _, a := range att.TopK(5) {
+			fmt.Printf(" %s=%.3f", test.Schema.Attrs[a].Name, att.Weights[a])
+		}
+		fmt.Println()
+
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want build or lookup)", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shahin-store:", err)
+	os.Exit(1)
+}

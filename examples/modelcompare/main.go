@@ -1,0 +1,120 @@
+// Model comparison: explain the same predictions under three different
+// black boxes — random forest, gradient-boosted trees, and naive Bayes —
+// and compare which attributes each model leans on. Anything satisfying
+// the two-method Classifier interface plugs into the same Shahin batch
+// pipeline. The run finishes by persisting the forest's explanations to
+// an ExplanationStore, the pre-compute-then-serve pattern from the
+// paper's introduction.
+//
+// Run with: go run ./examples/modelcompare
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+
+	"shahin"
+)
+
+func main() {
+	data, err := shahin.GenerateDataset("lending", 6000, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := shahin.SplitDataset(data, 1.0/3, 41)
+	stats, err := shahin.ComputeStats(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	forest, err := shahin.TrainForest(train, shahin.ForestConfig{NumTrees: 50, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	boosted, err := shahin.TrainGBT(train, shahin.GBTConfig{Rounds: 60, Seed: 43})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bayes, err := shahin.TrainNaiveBayes(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	models := []struct {
+		name string
+		cls  shahin.Classifier
+		acc  float64
+	}{
+		{"random-forest", forest, forest.Accuracy(test)},
+		{"boosted-trees", boosted, boosted.Accuracy(test)},
+		{"naive-bayes", bayes, bayes.Accuracy(test)},
+	}
+
+	const n = 120
+	tuples := test.Rows(0, n)
+	p := test.NumAttrs()
+
+	fmt.Println("model           accuracy   top attributes by mean |LIME weight|")
+	var forestExps []shahin.Explanation
+	for _, m := range models {
+		batch, err := shahin.NewBatch(stats, m.cls, shahin.Options{
+			Explainer: shahin.LIME,
+			LIME:      shahin.LIMEConfig{NumSamples: 500},
+			Seed:      44,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := batch.ExplainAll(tuples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.name == "random-forest" {
+			forestExps = res.Explanations
+		}
+		mean := make([]float64, p)
+		for _, e := range res.Explanations {
+			for a, w := range e.Attribution.Weights {
+				mean[a] += math.Abs(w) / float64(n)
+			}
+		}
+		line := fmt.Sprintf("%-14s  %.3f     ", m.name, m.acc)
+		for k := 0; k < 4; k++ {
+			best := 0
+			for a := range mean {
+				if mean[a] > mean[best] {
+					best = a
+				}
+			}
+			line += fmt.Sprintf(" %s(%.3f)", test.Schema.Attrs[best].Name, mean[best])
+			mean[best] = -1
+		}
+		fmt.Println(line)
+	}
+
+	// Pre-compute-then-serve: persist the forest's explanations and look
+	// one up as an explanation service would.
+	st, err := shahin.BuildExplanationStore(tuples, forestExps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	serialised := buf.Len()
+	loaded, err := shahin.LoadExplanationStore(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, ok := loaded.Get(tuples[7])
+	if !ok {
+		log.Fatal("stored explanation missing")
+	}
+	fmt.Printf("\nexplanation store: %d entries, %d bytes serialised\n", loaded.Len(), serialised)
+	fmt.Printf("lookup tuple 7 -> class %s, top attribute %s\n",
+		test.Schema.Classes[exp.Attribution.Class],
+		test.Schema.Attrs[exp.Attribution.TopK(1)[0]].Name)
+}

@@ -1,0 +1,70 @@
+// Quickstart: train a model, explain a batch of predictions with
+// Shahin-LIME, and compare the cost against the sequential baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shahin"
+)
+
+func main() {
+	// 1. Data: a synthetic twin of the Census-Income dataset (swap in
+	// your own CSV via shahin.ReadCSV).
+	data, err := shahin.GenerateDataset("census", 6000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := shahin.SplitDataset(data, 1.0/3, 2)
+
+	// 2. Model: the paper's random forest. Any shahin.Classifier works.
+	model, err := shahin.TrainForest(train, shahin.ForestConfig{NumTrees: 50, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random forest: test accuracy %.3f\n\n", model.Accuracy(test))
+
+	// 3. Explain a batch of 200 held-out predictions with Shahin.
+	stats, err := shahin.ComputeStats(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuples := test.Rows(0, 200)
+
+	batch, err := shahin.NewBatch(stats, model, shahin.Options{Explainer: shahin.LIME, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := batch.ExplainAll(tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect a few explanations: top-3 attributes by |weight|.
+	for i := 0; i < 3; i++ {
+		att := res.Explanations[i].Attribution
+		fmt.Printf("tuple %d -> %s, because:", i, test.Schema.Classes[att.Class])
+		for _, a := range att.TopK(3) {
+			fmt.Printf(" %s (%.3f)", test.Schema.Attrs[a].Name, att.Weights[a])
+		}
+		fmt.Println()
+	}
+
+	// 5. What did Shahin save? Run the sequential baseline on the same
+	// batch and compare.
+	seq, err := shahin.Sequential(stats, model, shahin.Options{Explainer: shahin.LIME, Seed: 4}, tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsequential: %8v wall, %7d classifier calls\n",
+		seq.Report.WallTime.Round(1e6), seq.Report.Invocations)
+	fmt.Printf("shahin:     %8v wall, %7d classifier calls (%d reused, overhead %.1f%%)\n",
+		res.Report.WallTime.Round(1e6), res.Report.Invocations,
+		res.Report.ReusedSamples, 100*res.Report.OverheadFraction())
+	fmt.Printf("speedup: %.1fx wall, %.1fx invocations\n",
+		float64(seq.Report.WallTime)/float64(res.Report.WallTime),
+		float64(seq.Report.Invocations)/float64(res.Report.Invocations))
+}

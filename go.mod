@@ -1,0 +1,3 @@
+module shahin
+
+go 1.22

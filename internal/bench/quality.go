@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"shahin/internal/core"
+	"shahin/internal/dataset"
+	"shahin/internal/metrics"
+)
+
+// Quality regenerates the paper's §4.2 "Explanation Quality" evaluation:
+// fidelity of Shahin-Batch explanations against the sequential baseline
+// on the Census-Income twin — Kendall-τ rank correlation and deviation of
+// the importance vectors for LIME and SHAP, and rule agreement for
+// Anchor.
+func Quality(cfg Config) (*Table, error) {
+	cfg = cfg.Fill()
+	env, err := NewEnv("census", cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := env.Tuples(cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Explanation quality: Shahin-Batch vs sequential (census, batch=%d)", cfg.Batch),
+		Header: []string{"Comparison", "Kendall-tau", "Top1-agree", "Mean-Euclid", "Max-dev", "Same-rule %"},
+	}
+	for _, kind := range core.Kinds() {
+		opts := cfg.Options(kind)
+		seq, err := runSequential(env, opts, tuples)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := runBatch(env, opts, tuples)
+		if err != nil {
+			return nil, err
+		}
+		// The paper's yardstick: how much do two *sequential* runs with
+		// different seeds disagree? Shahin only has to stay within that
+		// noise floor.
+		opts2 := opts
+		opts2.Seed += 7919
+		seq2, err := runSequential(env, opts2, tuples)
+		if err != nil {
+			return nil, err
+		}
+
+		switch kind {
+		case core.Anchor:
+			t.AddRow(ruleAgreement(kind.String()+" Shahin-vs-seq", seq, sh, tuples)...)
+			t.AddRow(ruleAgreement(kind.String()+" seq-vs-seq", seq, seq2, tuples)...)
+		default:
+			t.AddRow(attrAgreement(kind.String()+" Shahin-vs-seq", seq, sh, tuples)...)
+			t.AddRow(attrAgreement(kind.String()+" seq-vs-seq", seq, seq2, tuples)...)
+		}
+	}
+	t.AddNote("seq-vs-seq rows are the baseline's own seed-to-seed variation (the paper's noise floor)")
+	t.AddNote("Max-dev column for Anchor is the mean |precision difference|; Same-rule %% is exact predicate-set agreement")
+	return t, nil
+}
+
+// attrAgreement summarises attribution fidelity between two runs.
+func attrAgreement(label string, a, b *core.Result, tuples [][]float64) []string {
+	var taus, euclid, top1 float64
+	maxDev := 0.0
+	for i := range tuples {
+		wa := a.Explanations[i].Attribution.Weights
+		wb := b.Explanations[i].Attribution.Weights
+		taus += metrics.KendallTau(wa, wb)
+		euclid += metrics.Euclidean(wa, wb)
+		if d := metrics.MaxAbsDev(wa, wb); d > maxDev {
+			maxDev = d
+		}
+		top1 += metrics.TopKOverlap(wa, wb, 1)
+	}
+	n := float64(len(tuples))
+	return []string{label, f3(taus / n), f3(top1 / n), f3(euclid / n), f3(maxDev), "-"}
+}
+
+// ruleAgreement summarises rule fidelity between two runs.
+func ruleAgreement(label string, a, b *core.Result, tuples [][]float64) []string {
+	same := 0
+	var precDev float64
+	for i := range tuples {
+		ra, rb := a.Explanations[i].Rule, b.Explanations[i].Rule
+		if sameRule(ra.Items, rb.Items) {
+			same++
+		}
+		precDev += math.Abs(ra.Precision - rb.Precision)
+	}
+	n := float64(len(tuples))
+	return []string{label, "-", "-", "-", f3(precDev / n), f2(100 * float64(same) / n)}
+}
+
+// sameRule reports exact predicate-set equality of two canonical rules.
+func sameRule(a, b dataset.Itemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"time"
+
+	"shahin/internal/core"
+	"shahin/internal/rf"
+)
+
+// runSequential runs the sequential baseline over the tuples.
+func runSequential(env *Env, opts core.Options, tuples [][]float64) (*core.Result, error) {
+	return core.Sequential(env.Stats, env.Classifier(), opts, tuples)
+}
+
+// runBatch runs Shahin-Batch over the tuples.
+func runBatch(env *Env, opts core.Options, tuples [][]float64) (*core.Result, error) {
+	b, err := core.NewBatch(env.Stats, env.Classifier(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.ExplainAll(tuples)
+}
+
+// runStream feeds the tuples one at a time through Shahin-Streaming and
+// returns the explanations plus the accumulated report.
+func runStream(env *Env, opts core.Options, tuples [][]float64) (*core.Result, error) {
+	s, err := core.NewStream(env.Stats, env.Classifier(), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Explanation, 0, len(tuples))
+	for _, t := range tuples {
+		exp, err := s.Explain(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exp)
+	}
+	return &core.Result{Explanations: out, Report: s.Report()}, nil
+}
+
+// runDist runs the DIST-k baseline.
+func runDist(env *Env, opts core.Options, tuples [][]float64, k int) (*core.Result, error) {
+	return core.Dist(env.Stats, env.Classifier(), opts, tuples, k)
+}
+
+// runGreedy runs the GREEDY baseline with the paper's default budget of
+// 10x the raw batch size.
+func runGreedy(env *Env, opts core.Options, tuples [][]float64) (*core.Result, error) {
+	budget := int64(10 * len(tuples) * len(tuples[0]) * 8)
+	return core.Greedy(env.Stats, env.Classifier(), opts, tuples, budget)
+}
+
+// speedup returns baseline / measured wall-time ratio.
+func speedup(baseline, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(baseline) / float64(measured)
+}
+
+// secondsPerTuple renders a report as seconds per explanation.
+func secondsPerTuple(rep core.Report) float64 {
+	if rep.Tuples == 0 {
+		return 0
+	}
+	return rep.WallTime.Seconds() / float64(rep.Tuples)
+}
+
+var _ rf.Classifier = (*rf.Delayed)(nil)

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"shahin/internal/core"
+)
+
+// Table1 regenerates the paper's Table 1: per dataset, the shape columns
+// (#Tuples at paper scale, #CatA, #NumA, #MaxDC) and the average seconds
+// per explained tuple for the sequential baseline, Shahin-Batch, and
+// Shahin-Streaming, for each of LIME, Anchor, and SHAP.
+func Table1(cfg Config) (*Table, error) {
+	cfg = cfg.Fill()
+	t := &Table{
+		Title:  fmt.Sprintf("Table 1: dataset characteristics and per-tuple seconds (seq, batch, stream) at batch=%d", cfg.Batch),
+		Header: []string{"Dataset", "#Tuples", "#CatA", "#NumA", "#MaxDC", "LIME (s)", "Anchor (s)", "SHAP (s)"},
+	}
+	for _, name := range DatasetNames() {
+		env, err := NewEnv(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tuples, err := env.Tuples(cfg.Batch)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{
+			name,
+			itoa(env.Spec.Rows), // paper-scale tuple count (shape column)
+			itoa(len(env.Spec.Cat)),
+			itoa(len(env.Spec.Num)),
+			itoa(env.Test.Schema.MaxCardinality()),
+		}
+		for _, kind := range core.Kinds() {
+			opts := cfg.Options(kind)
+			seq, err := runSequential(env, opts, tuples)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s/%s seq: %w", name, kind, err)
+			}
+			batch, err := runBatch(env, opts, tuples)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s/%s batch: %w", name, kind, err)
+			}
+			stream, err := runStream(env, opts, tuples)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s/%s stream: %w", name, kind, err)
+			}
+			row = append(row, fmt.Sprintf("%.3f, %.3f, %.3f",
+				secondsPerTuple(seq.Report),
+				secondsPerTuple(batch.Report),
+				secondsPerTuple(stream.Report)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("#Tuples is the paper-scale row count of the synthetic twin; runs use %d generated rows per dataset", cfg.Rows)
+	t.AddNote("per-invocation classifier delay %v restores the paper's cost profile", cfg.Delay)
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"shahin/internal/dataset"
+	"shahin/internal/fim"
+	"shahin/internal/rf"
+)
+
+// Sequential explains the batch one tuple at a time with no reuse at all:
+// the baseline every speedup ratio in the paper is measured against.
+// Anchor runs with fresh per-tuple caches; LIME and SHAP get no pool.
+func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64) (*Result, error) {
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Anchor still needs a coverage sample; its cost is part of setup for
+	// both baseline and Shahin, so the comparison stays fair.
+	var covRows []dataset.Itemset
+	if opts.Explainer == Anchor {
+		covRows = itemizeSample(st, tuples, fim.SampleSize(len(tuples)), rng)
+	}
+	eng := newEngine(opts, st, cls, covRows, rng)
+
+	out := make([]Explanation, 0, len(tuples))
+	for i, t := range tuples {
+		exp, err := eng.explain(t, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
+		}
+		out = append(out, exp)
+	}
+	return &Result{
+		Explanations: out,
+		Report: Report{
+			Tuples:      len(tuples),
+			WallTime:    time.Since(start),
+			Invocations: eng.invocations(),
+		},
+	}, nil
+}
+
+// Dist is the paper's DIST-k baseline: the batch is split evenly across k
+// *machines*, each running the sequential algorithm, and the reported
+// wall time is the average machine time (§4.1). Each machine has the
+// whole box to itself in the paper's model, so the simulation runs the
+// chunks one after another — timing each in isolation — rather than as
+// contending goroutines, which would measure local core count instead of
+// cluster size.
+func Dist(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: Dist needs k >= 1, got %d", k)
+	}
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	opts = opts.withDefaults()
+	if k > len(tuples) {
+		k = len(tuples)
+	}
+
+	var (
+		all      []Explanation
+		invs     int64
+		total    time.Duration
+		machines int
+	)
+	chunk := (len(tuples) + k - 1) / k
+	for w := 0; w < k; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		if lo >= hi {
+			continue
+		}
+		wopts := opts
+		wopts.Seed = opts.Seed + int64(w)*1_000_003
+		res, err := Sequential(st, cls, wopts, tuples[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("core: Dist machine %d: %w", w, err)
+		}
+		all = append(all, res.Explanations...)
+		invs += res.Report.Invocations
+		total += res.Report.WallTime
+		machines++
+	}
+	return &Result{
+		Explanations: all,
+		Report: Report{
+			Tuples:      len(tuples),
+			WallTime:    total / time.Duration(machines),
+			Invocations: invs,
+		},
+	}, nil
+}

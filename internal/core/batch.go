@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"shahin/internal/cache"
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/explain/anchor"
+	"shahin/internal/fim"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+	"shahin/internal/sample"
+)
+
+// Batch is Shahin's batch variant: given the whole set of tuples up
+// front, it mines frequent itemsets over a uniform sample, materialises τ
+// labelled perturbations per itemset, and serves them to every tuple's
+// explanation (Algorithms 1–3 of the paper).
+type Batch struct {
+	opts Options
+	st   *dataset.Stats
+	cls  rf.Classifier
+}
+
+// NewBatch creates a batch explainer over the training statistics and a
+// black-box classifier.
+func NewBatch(st *dataset.Stats, cls rf.Classifier, opts Options) (*Batch, error) {
+	if st == nil || cls == nil {
+		return nil, fmt.Errorf("core: NewBatch needs stats and a classifier")
+	}
+	return &Batch{opts: opts.withDefaults(), st: st, cls: cls}, nil
+}
+
+// ExplainAll explains every tuple of the batch and returns the
+// explanations in input order together with the run's cost report.
+func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	opts := b.opts
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Step 1 (overhead): itemise a uniform sample of the batch and mine
+	// frequent itemsets — max(1000, 1%) per the paper's heuristic.
+	mineStart := time.Now()
+	sampleN := fim.SampleSize(len(tuples))
+	switch {
+	case opts.MineSample < 0:
+		sampleN = len(tuples)
+	case opts.MineSample > 0:
+		sampleN = opts.MineSample
+	}
+	rows := itemizeSample(b.st, tuples, sampleN, rng)
+	mined, err := fim.Mine(rows, fim.Config{
+		MinSupport:  effectiveSupport(opts.MinSupport, len(rows)),
+		MaxLen:      opts.MaxItemsetLen,
+		MaxPerLevel: 4 * opts.MaxItemsets,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: mining batch sample: %w", err)
+	}
+	frequent := mined.Frequent
+	if len(frequent) > opts.MaxItemsets {
+		frequent = frequent[:opts.MaxItemsets]
+	}
+	// Resource-constrained pool sizing (the paper sets τ "automatically
+	// based on the resource constraints"): never spend more than ~20 % of
+	// the estimated sequential classifier budget on pre-labelling, so
+	// small batches are not swamped by pool construction.
+	if maxSets := poolBudget(opts, len(tuples)) / opts.Tau; !opts.DisablePoolBudget && len(frequent) > maxSets {
+		if maxSets < 10 {
+			maxSets = 10
+		}
+		if len(frequent) > maxSets {
+			frequent = frequent[:maxSets]
+		}
+	}
+	mineTime := time.Since(mineStart)
+
+	eng := newEngine(opts, b.st, b.cls, rows, rng)
+	gen := perturb.NewGenerator(b.st, rng)
+
+	// Step 2: materialise and label τ perturbations per frequent itemset.
+	var (
+		pool *itemsetPool
+		repo *cache.Repo
+		sets []dataset.Itemset
+		sh   *anchor.Shared
+	)
+	switch opts.Explainer {
+	case Anchor:
+		sh = anchor.NewShared(eng.cls.NumClasses(), opts.CacheBytes)
+		seedAnchor(sh, eng.cls, gen, frequent, opts.Tau)
+	default:
+		repo = cache.NewRepo(opts.CacheBytes)
+		sets = make([]dataset.Itemset, len(frequent))
+		for i, mnd := range frequent {
+			samples := make([]perturb.Sample, opts.Tau)
+			for j := range samples {
+				s := gen.ForItemset(mnd.Set)
+				s.Label = eng.cls.Predict(s.Row)
+				samples[j] = s
+			}
+			repo.Put(mnd.Set.Key(), samples)
+			sets[i] = mnd.Set
+		}
+		pool = newItemsetPool(repo, sets)
+	}
+	poolInv := eng.invocations()
+
+	// Step 3: explain every tuple, reusing pooled work.
+	rep := Report{
+		Tuples:           len(tuples),
+		OverheadTime:     mineTime,
+		PoolInvocations:  poolInv,
+		FrequentItemsets: len(frequent),
+	}
+	var out []Explanation
+	if pool != nil && opts.Workers > 1 {
+		var err error
+		out, err = b.explainParallel(tuples, repo, sets, opts, &rep)
+		if err != nil {
+			return nil, err
+		}
+		rep.Invocations += poolInv
+	} else {
+		out = make([]Explanation, 0, len(tuples))
+		for i, t := range tuples {
+			var pl explain.Pool
+			if pool != nil {
+				pool.beginTuple()
+				pl = pool
+			}
+			exp, err := eng.explain(t, pl, sh)
+			if err != nil {
+				return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
+			}
+			out = append(out, exp)
+		}
+		rep.Invocations = eng.invocations()
+		if pool != nil {
+			rep.OverheadTime += pool.retrieval
+			rep.ReusedSamples = pool.reused
+		}
+	}
+	if repo != nil {
+		rep.Cache = repo.Stats()
+	}
+	if sh != nil {
+		rep.Cache = sh.Repo.Stats()
+	}
+	rep.WallTime = time.Since(start)
+	return &Result{Explanations: out, Report: rep}, nil
+}
+
+// explainParallel runs the per-tuple phase on opts.Workers goroutines.
+// Each worker gets its own engine (with an independent RNG and invocation
+// counter) and its own pool view over a frozen snapshot of the
+// repository, so no synchronisation is needed on the hot path.
+func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dataset.Itemset, opts Options, rep *Report) ([]Explanation, error) {
+	snap := repo.Snapshot()
+	workers := opts.Workers
+	if workers > len(tuples) {
+		workers = len(tuples)
+	}
+	out := make([]Explanation, len(tuples))
+	engines := make([]*engine, workers)
+	pools := make([]*itemsetPool, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wopts := opts
+		wopts.Seed = opts.Seed + 7919*int64(w+1)
+		engines[w] = newEngine(wopts, b.st, b.cls, nil, rand.New(rand.NewSource(wopts.Seed)))
+		pools[w] = newItemsetPool(snap, sets)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(tuples); i += workers {
+				pools[w].beginTuple()
+				exp, err := engines[w].explain(tuples[i], pools[w], nil)
+				if err != nil {
+					errs[w] = fmt.Errorf("core: explaining tuple %d: %w", i, err)
+					return
+				}
+				out[i] = exp
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		rep.Invocations += engines[w].invocations()
+		rep.ReusedSamples += pools[w].reused
+		if pools[w].retrieval > 0 {
+			rep.OverheadTime += pools[w].retrieval / time.Duration(workers)
+		}
+	}
+	return out, nil
+}
+
+// effectiveSupport raises the relative support threshold so that the
+// absolute count is at least 5: on tiny mining samples a minimum count of
+// one or two would declare almost every observed item frequent and blow
+// up candidate generation.
+func effectiveSupport(minSupport float64, rows int) float64 {
+	if rows <= 0 {
+		return minSupport
+	}
+	if floor := 5.0 / float64(rows); floor > minSupport {
+		if floor > 1 {
+			return 1
+		}
+		return floor
+	}
+	return minSupport
+}
+
+// poolBudget estimates how many classifier invocations pool construction
+// may spend: one fifth of the expected sequential cost of the batch.
+func poolBudget(opts Options, batch int) int {
+	perTuple := 0
+	switch opts.Explainer {
+	case LIME:
+		perTuple = opts.LIME.NumSamples
+		if perTuple <= 0 {
+			perTuple = 1000
+		}
+	case SHAP:
+		perTuple = opts.SHAP.NumSamples
+		if perTuple <= 0 {
+			perTuple = 1024
+		}
+	case Anchor:
+		// Sequential Anchor's per-tuple cost is workload dependent; a few
+		// hundred pulls is typical for easy concepts at default (ε, δ).
+		perTuple = 300
+	case SampleSHAP:
+		// Each permutation costs roughly one call per attribute; assume a
+		// few dozen attributes.
+		k := opts.SSHAP.Permutations
+		if k <= 0 {
+			k = 20
+		}
+		perTuple = 30 * k
+	}
+	return batch * perTuple / 5
+}
+
+// itemizeSample itemises a uniform sample of n tuples.
+func itemizeSample(st *dataset.Stats, tuples [][]float64, n int, rng *rand.Rand) []dataset.Itemset {
+	idx := sample.UniformIndices(rng, len(tuples), n)
+	rows := make([]dataset.Itemset, len(idx))
+	for i, ti := range idx {
+		rows[i] = append(dataset.Itemset(nil), st.ItemizeRow(tuples[ti], nil)...)
+	}
+	return rows
+}
+
+// seedAnchor pre-estimates the precision of every frequent-itemset rule
+// (Algorithm 2, line 3): τ labelled perturbations per rule go into the
+// shared repository, their class histogram into the invariant cache, and
+// the mined support doubles as the rule's coverage.
+func seedAnchor(sh *anchor.Shared, cls rf.Classifier, gen *perturb.Generator, frequent []fim.Mined, tau int) {
+	nClasses := cls.NumClasses()
+	for _, mnd := range frequent {
+		rr, _ := sh.Inv.Lookup(mnd.Set.Key())
+		hist := make([]int, nClasses)
+		samples := make([]perturb.Sample, tau)
+		for j := range samples {
+			s := gen.ForItemset(mnd.Set)
+			s.Label = cls.Predict(s.Row)
+			hist[s.Label]++
+			samples[j] = s
+		}
+		rr.AddTrials(hist)
+		rr.Coverage = mnd.Support
+		rr.HasCoverage = true
+		sh.Repo.Put(mnd.Set.Key(), samples)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/explain/anchor"
+	"shahin/internal/explain/lime"
+	"shahin/internal/explain/shap"
+	"shahin/internal/explain/sshap"
+	"shahin/internal/rf"
+)
+
+// engine bundles one configured explainer of the selected kind together
+// with the classifier instrumentation every run needs.
+type engine struct {
+	kind Kind
+	st   *dataset.Stats
+	cls  *rf.Counting
+
+	lime   *lime.Explainer
+	anchor *anchor.Explainer
+	shap   *shap.Explainer
+	sshap  *sshap.Explainer
+}
+
+// newEngine wires up the explainer of the requested kind. covRows feeds
+// Anchor's coverage estimates (may be nil for LIME/SHAP).
+func newEngine(opts Options, st *dataset.Stats, cls rf.Classifier, covRows []dataset.Itemset, rng *rand.Rand) *engine {
+	counting := rf.NewCounting(cls)
+	e := &engine{kind: opts.Explainer, st: st, cls: counting}
+	switch opts.Explainer {
+	case LIME:
+		e.lime = lime.New(st, counting, opts.LIME, rng)
+	case Anchor:
+		e.anchor = anchor.New(st, counting, covRows, opts.Anchor, rng)
+	case SHAP:
+		e.shap = shap.New(st, counting, opts.SHAP, rng)
+	case SampleSHAP:
+		e.sshap = sshap.New(st, counting, opts.SSHAP, rng)
+	}
+	return e
+}
+
+// explain runs one explanation. pool may be nil (sequential); sh is the
+// Anchor shared state — nil makes Anchor run with fresh per-tuple caches.
+func (e *engine) explain(t []float64, pool explain.Pool, sh *anchor.Shared) (Explanation, error) {
+	switch e.kind {
+	case LIME:
+		att, err := e.lime.ExplainWithPool(t, pool)
+		if err != nil {
+			return Explanation{}, err
+		}
+		return Explanation{Attribution: att}, nil
+	case Anchor:
+		rule, err := e.anchor.ExplainShared(t, sh)
+		if err != nil {
+			return Explanation{}, err
+		}
+		return Explanation{Rule: rule}, nil
+	case SHAP:
+		att, err := e.shap.ExplainWithPool(t, pool)
+		if err != nil {
+			return Explanation{}, err
+		}
+		return Explanation{Attribution: att}, nil
+	case SampleSHAP:
+		att, err := e.sshap.ExplainWithPool(t, pool)
+		if err != nil {
+			return Explanation{}, err
+		}
+		return Explanation{Attribution: att}, nil
+	default:
+		return Explanation{}, fmt.Errorf("core: unknown explainer kind %d", e.kind)
+	}
+}
+
+// invocations reports the classifier calls made through this engine.
+func (e *engine) invocations() int64 { return e.cls.Invocations() }

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+)
+
+// Greedy is the paper's GREEDY baseline (§4.1): it blindly persists every
+// perturbation generated while explaining, under a byte budget with LRU
+// (oldest-first) eviction, and reuses any stored perturbation that is
+// compatible with the tuple at hand. It has no notion of which
+// perturbations are worth keeping — the contrast that motivates Shahin's
+// frequent-itemset materialisation.
+func Greedy(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64, budgetBytes int64) (*Result, error) {
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	opts = opts.withDefaults()
+	if opts.Explainer == Anchor {
+		// GREEDY for Anchor degenerates to sequential with a sample store;
+		// the paper evaluates GREEDY on the perturbation-pool explainers.
+		// Run it as sequential so the comparison is still well defined.
+		return Sequential(st, cls, opts, tuples)
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	eng := newEngine(opts, st, cls, nil, rng)
+
+	store := newGreedyStore(budgetBytes)
+	out := make([]Explanation, 0, len(tuples))
+	for i, t := range tuples {
+		store.beginTuple()
+		exp, err := eng.explain(t, store, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
+		}
+		out = append(out, exp)
+	}
+	return &Result{
+		Explanations: out,
+		Report: Report{
+			Tuples:        len(tuples),
+			WallTime:      time.Since(start),
+			OverheadTime:  store.retrieval,
+			Invocations:   eng.invocations(),
+			ReusedSamples: store.reused,
+		},
+	}, nil
+}
+
+// greedyStore is a flat FIFO of labelled perturbations under a byte
+// budget. Reuse scans newest-first: any stored sample sharing at least
+// one bin with the tuple may be served for ForTuple, and ForItemset
+// requires a full match of the required items — the same compatibility
+// rules as Shahin's pool, minus the curation.
+type greedyStore struct {
+	budget int64
+	used   int64
+
+	samples []storedSample
+	nextID  int64
+	head    int // index of the oldest live sample
+
+	consumed  map[int64]bool // per-tuple allowance
+	reused    int64
+	retrieval time.Duration
+}
+
+type storedSample struct {
+	id int64
+	s  perturb.Sample
+}
+
+var (
+	_ explain.Pool     = (*greedyStore)(nil)
+	_ explain.Observer = (*greedyStore)(nil)
+)
+
+func newGreedyStore(budget int64) *greedyStore {
+	return &greedyStore{budget: budget, consumed: make(map[int64]bool)}
+}
+
+func (g *greedyStore) beginTuple() { clear(g.consumed) }
+
+// Observe implements explain.Observer: every fresh labelled perturbation
+// is persisted, evicting oldest entries past the budget.
+func (g *greedyStore) Observe(s perturb.Sample) {
+	g.samples = append(g.samples, storedSample{id: g.nextID, s: s})
+	g.nextID++
+	g.used += s.Bytes()
+	for g.budget > 0 && g.used > g.budget && g.head < len(g.samples) {
+		g.used -= g.samples[g.head].s.Bytes()
+		g.samples[g.head] = storedSample{} // release for GC
+		g.head++
+	}
+	// Compact the slice occasionally so memory is actually reclaimed.
+	if g.head > 0 && g.head*2 > len(g.samples) {
+		g.samples = append(g.samples[:0], g.samples[g.head:]...)
+		g.head = 0
+	}
+}
+
+// ForTuple implements explain.Pool: newest-first scan for stored samples
+// that agree with the tuple on at least half of the attributes — samples
+// that carry locality for this tuple. Most leftovers from other tuples'
+// explanations do not qualify, which (together with the deepening scans
+// as the cache grows) is exactly why the paper finds GREEDY's speedup
+// fades at larger batches.
+func (g *greedyStore) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sample {
+	startT := time.Now()
+	defer func() { g.retrieval += time.Since(startT) }()
+
+	minMatch := (len(tupleItems) + 1) / 2
+	var out []perturb.Sample
+	for i := len(g.samples) - 1; i >= g.head && len(out) < max; i-- {
+		ss := &g.samples[i]
+		if g.consumed[ss.id] {
+			continue
+		}
+		if matchingBins(tupleItems, ss.s.Items) >= minMatch {
+			out = append(out, ss.s)
+			g.consumed[ss.id] = true
+		}
+	}
+	g.reused += int64(len(out))
+	return out
+}
+
+// ForItemset implements explain.Pool: newest-first scan for samples
+// matching all required items. Requirements beyond a few items cannot
+// match product-marginal samples by chance, so the scan is skipped.
+func (g *greedyStore) ForItemset(required dataset.Itemset, max int) []perturb.Sample {
+	if len(required) > 3 {
+		return nil
+	}
+	startT := time.Now()
+	defer func() { g.retrieval += time.Since(startT) }()
+
+	var out []perturb.Sample
+	for i := len(g.samples) - 1; i >= g.head && len(out) < max; i-- {
+		ss := &g.samples[i]
+		if g.consumed[ss.id] {
+			continue
+		}
+		if perturb.MatchesBins(required, ss.s.Items) {
+			out = append(out, ss.s)
+			g.consumed[ss.id] = true
+		}
+	}
+	g.reused += int64(len(out))
+	return out
+}
+
+// matchingBins counts the attributes on which the sample agrees with the
+// tuple's bin.
+func matchingBins(tupleItems, sampleItems []dataset.Item) int {
+	n := 0
+	for a := range tupleItems {
+		if tupleItems[a] == sampleItems[a] {
+			n++
+		}
+	}
+	return n
+}

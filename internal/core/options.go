@@ -1,0 +1,166 @@
+// Package core implements Shahin itself: the batch variant (Algorithms
+// 1–3 of the paper) that mines frequent itemsets over a sample of the
+// batch, materialises and labels τ perturbations per itemset, and reuses
+// them across every tuple's explanation; the streaming variant (§3.5)
+// with a byte-budgeted LRU repository, periodic itemset re-mining, and
+// negative-border promotion; and the two baselines the evaluation
+// compares against (GREEDY and DIST-k).
+package core
+
+import (
+	"fmt"
+
+	"shahin/internal/dataset"
+	"shahin/internal/explain/anchor"
+	"shahin/internal/explain/lime"
+	"shahin/internal/explain/shap"
+	"shahin/internal/explain/sshap"
+)
+
+// Kind selects which explanation algorithm a run uses.
+type Kind uint8
+
+const (
+	// LIME produces feature-weight attributions via a local surrogate.
+	LIME Kind = iota
+	// Anchor produces IF-THEN rules with precision/coverage guarantees.
+	Anchor
+	// SHAP produces Shapley-value attributions.
+	SHAP
+	// SampleSHAP produces Shapley-value attributions via permutation
+	// sampling (Štrumbelj & Kononenko) — an extension beyond the paper's
+	// three algorithms that demonstrates the generality of the reuse
+	// framework.
+	SampleSHAP
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LIME:
+		return "LIME"
+	case Anchor:
+		return "Anchor"
+	case SHAP:
+		return "SHAP"
+	case SampleSHAP:
+		return "SampleSHAP"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Kinds lists the paper's three explainer kinds in display order (the
+// tables and figures of the evaluation iterate these).
+func Kinds() []Kind { return []Kind{LIME, Anchor, SHAP} }
+
+// AllKinds additionally includes the extension explainers.
+func AllKinds() []Kind { return []Kind{LIME, Anchor, SHAP, SampleSHAP} }
+
+// ParseKind converts a name ("lime", "anchor", "shap", any case) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch lower(s) {
+	case "lime":
+		return LIME, nil
+	case "anchor":
+		return Anchor, nil
+	case "shap", "kernelshap":
+		return SHAP, nil
+	case "sshap", "sampleshap", "sampleshapley":
+		return SampleSHAP, nil
+	default:
+		return 0, fmt.Errorf("core: unknown explainer %q (want lime, anchor, or shap)", s)
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Options configures a Shahin run. Zero values select the noted defaults.
+type Options struct {
+	// Explainer picks the algorithm (default LIME).
+	Explainer Kind
+	// LIME / Anchor / SHAP / SSHAP configure the underlying explainers.
+	LIME   lime.Config
+	Anchor anchor.Config
+	SHAP   shap.Config
+	SSHAP  sshap.Config
+
+	// MinSupport is the frequent-itemset threshold over the batch sample
+	// (default 0.1).
+	MinSupport float64
+	// MaxItemsetLen caps mined itemset length (default 3).
+	MaxItemsetLen int
+	// MaxItemsets caps how many frequent itemsets get pooled
+	// perturbations, taken in mining order — shortest first, then highest
+	// support (default 200).
+	MaxItemsets int
+	// Tau is the number of perturbations materialised per frequent
+	// itemset (default 100, the paper's τ).
+	Tau int
+	// MineSample overrides how many tuples of the batch are mined for
+	// frequent itemsets: 0 uses the paper's max(1000, 1%) heuristic, -1
+	// mines the whole batch (the A1 ablation), > 0 is an explicit size.
+	MineSample int
+	// DisablePoolBudget turns off the automatic resource cap that limits
+	// pool construction to ~20 % of the sequential classifier budget.
+	// Exists so parameter sweeps (Figure 6's τ sweep) can hold the
+	// itemset count fixed; leave it off in production.
+	DisablePoolBudget bool
+	// CacheBytes is the perturbation repository budget (default 128 MiB,
+	// the knee of the paper's Figure 7; <= 0 keeps the default — use
+	// Figure 7's sweep to vary it).
+	CacheBytes int64
+	// Seed drives every random choice (sampling, perturbation, bandits).
+	Seed int64
+	// Workers runs per-tuple explanation on this many goroutines over a
+	// frozen pool snapshot (default 1 — the paper measures single-core to
+	// isolate algorithmic gains). Anchor ignores Workers: its shared
+	// caches are mutated during explanation.
+	Workers int
+
+	// StreamRecompute is the streaming variant's re-mining period in
+	// tuples (default 100, the paper's threshold).
+	StreamRecompute int
+	// StreamBorder enables negative-border tracking in the streaming
+	// variant, promoting border itemsets that become frequent between
+	// re-mines (default on; the A3 ablation turns it off).
+	StreamBorder *bool
+}
+
+// withDefaults returns a copy with defaults filled in.
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 || o.MinSupport > 1 {
+		o.MinSupport = 0.1
+	}
+	if o.MaxItemsetLen <= 0 || o.MaxItemsetLen > dataset.MaxItemsetLen {
+		o.MaxItemsetLen = 3
+	}
+	if o.MaxItemsets <= 0 {
+		o.MaxItemsets = 200
+	}
+	if o.Tau <= 0 {
+		o.Tau = 100
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 128 << 20
+	}
+	if o.StreamRecompute <= 0 {
+		o.StreamRecompute = 100
+	}
+	if o.StreamBorder == nil {
+		on := true
+		o.StreamBorder = &on
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"shahin/internal/cache"
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/perturb"
+)
+
+// sampleSource abstracts where pooled samples live: the live
+// byte-budgeted repository (single-worker runs, streaming) or an
+// immutable snapshot (parallel workers).
+type sampleSource interface {
+	Get(key dataset.ItemsetKey) ([]perturb.Sample, bool)
+}
+
+var (
+	_ sampleSource = (*cache.Repo)(nil)
+	_ sampleSource = cache.Snapshot(nil)
+)
+
+// itemsetPool serves Shahin's materialised perturbations to the
+// explainers. It fronts the sample source with per-tuple consumption
+// tracking (a pooled sample is served at most once per explanation, but
+// freely again for the next tuple) and accounts retrieval time toward the
+// housekeeping overhead of Figure 5.
+type itemsetPool struct {
+	repo sampleSource
+	// itemsets the pool materialised, in mining priority order (shortest
+	// first, then highest support) for ForTuple, and a longest-first view
+	// for ForItemset (a longer frozen itemset satisfies more of the
+	// required items by construction).
+	itemsets    []dataset.Itemset
+	longestView []dataset.Itemset
+
+	cursors  map[dataset.ItemsetKey]int    // ForTuple consumption
+	consumed map[dataset.ItemsetKey][]bool // ForItemset consumption
+
+	reused    int64
+	retrieval time.Duration
+}
+
+var _ explain.Pool = (*itemsetPool)(nil)
+
+func newItemsetPool(repo sampleSource, itemsets []dataset.Itemset) *itemsetPool {
+	longest := append([]dataset.Itemset(nil), itemsets...)
+	sort.SliceStable(longest, func(i, j int) bool { return len(longest[i]) > len(longest[j]) })
+	return &itemsetPool{
+		repo:        repo,
+		itemsets:    itemsets,
+		longestView: longest,
+		cursors:     make(map[dataset.ItemsetKey]int),
+		consumed:    make(map[dataset.ItemsetKey][]bool),
+	}
+}
+
+// beginTuple resets the per-tuple consumption allowance.
+func (p *itemsetPool) beginTuple() {
+	clear(p.cursors)
+	clear(p.consumed)
+}
+
+// ForTuple implements explain.Pool: samples of every pooled itemset the
+// tuple contains, best itemsets first.
+func (p *itemsetPool) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sample {
+	start := time.Now()
+	defer func() { p.retrieval += time.Since(start) }()
+
+	var out []perturb.Sample
+	for _, f := range p.itemsets {
+		if len(out) >= max {
+			break
+		}
+		if !f.ContainsAll(tupleItems) {
+			continue
+		}
+		key := f.Key()
+		samples, ok := p.repo.Get(key)
+		if !ok {
+			continue
+		}
+		cur := p.cursors[key]
+		for cur < len(samples) && len(out) < max {
+			out = append(out, samples[cur])
+			cur++
+		}
+		p.cursors[key] = cur
+	}
+	p.reused += int64(len(out))
+	return out
+}
+
+// ForItemset implements explain.Pool: samples from pooled itemsets that
+// are subsets of the required items, filtered to rows matching all
+// required items.
+func (p *itemsetPool) ForItemset(required dataset.Itemset, max int) []perturb.Sample {
+	start := time.Now()
+	defer func() { p.retrieval += time.Since(start) }()
+
+	var out []perturb.Sample
+	for _, f := range p.longestView {
+		if len(out) >= max {
+			break
+		}
+		// A pooled sample only guarantees the bins of its frozen itemset;
+		// the remaining required items must match by chance, which is
+		// hopeless beyond a couple of extra attributes — skip rather than
+		// scan (keeps retrieval overhead linear in what can actually hit).
+		if len(required) > len(f)+2 {
+			continue
+		}
+		if !f.SubsetOf(required) {
+			continue
+		}
+		key := f.Key()
+		samples, ok := p.repo.Get(key)
+		if !ok {
+			continue
+		}
+		used := p.consumed[key]
+		if used == nil {
+			used = make([]bool, len(samples))
+			p.consumed[key] = used
+		}
+		for i := range samples {
+			if len(out) >= max {
+				break
+			}
+			if i < len(used) && used[i] {
+				continue
+			}
+			if perturb.MatchesBins(required, samples[i].Items) {
+				out = append(out, samples[i])
+				if i < len(used) {
+					used[i] = true
+				}
+			}
+		}
+	}
+	p.reused += int64(len(out))
+	return out
+}

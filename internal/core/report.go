@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"shahin/internal/cache"
+	"shahin/internal/explain"
+)
+
+// Explanation is the per-tuple output: an attribution for LIME/SHAP or a
+// rule for Anchor (exactly one field is set).
+type Explanation struct {
+	Attribution *explain.Attribution
+	Rule        *explain.Rule
+}
+
+// Report captures the cost accounting of one run: wall time, classifier
+// invocations, reuse, and the housekeeping overhead the paper's Figure 5
+// measures (itemset mining plus pooled-perturbation retrieval).
+type Report struct {
+	Tuples int
+
+	// WallTime is the end-to-end time of the run, including pool
+	// construction.
+	WallTime time.Duration
+	// OverheadTime is the housekeeping share: frequent itemset mining and
+	// retrieval of pooled perturbations (not their generation or
+	// labelling, which replace baseline work rather than adding to it).
+	OverheadTime time.Duration
+
+	// Invocations is the total classifier Predict calls, including pool
+	// pre-labelling.
+	Invocations int64
+	// PoolInvocations is the subset of Invocations spent labelling pooled
+	// perturbations up front.
+	PoolInvocations int64
+	// ReusedSamples counts labelled perturbations served from the pool
+	// instead of fresh classifier calls.
+	ReusedSamples int64
+
+	// FrequentItemsets is how many itemsets received pooled perturbations.
+	FrequentItemsets int
+	// Cache summarises the perturbation repository at the end of the run.
+	Cache cache.Stats
+}
+
+// OverheadFraction returns OverheadTime / WallTime (the paper's Figure 5
+// metric), 0 for an empty run.
+func (r *Report) OverheadFraction() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.OverheadTime) / float64(r.WallTime)
+}
+
+// PerTuple returns the average wall time per explanation.
+func (r *Report) PerTuple() time.Duration {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return r.WallTime / time.Duration(r.Tuples)
+}
+
+// Result is the output of a batch-style run over a set of tuples.
+type Result struct {
+	Explanations []Explanation
+	Report       Report
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"shahin/internal/cache"
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/explain/anchor"
+	"shahin/internal/fim"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+)
+
+// Stream is Shahin's streaming variant (paper §3.5): explanation requests
+// arrive one at a time, the perturbation repository lives under a byte
+// budget with LRU eviction, frequent itemsets are re-mined every
+// StreamRecompute tuples over the tuples seen since the last recompute,
+// and (optionally) the negative border is tracked so that a border
+// itemset whose running frequency crosses the support threshold is
+// promoted — and materialised — without waiting for the next re-mine.
+type Stream struct {
+	opts Options
+	st   *dataset.Stats
+	eng  *engine
+	gen  *perturb.Generator
+
+	repo *cache.Repo
+	pool *itemsetPool
+	sh   *anchor.Shared // Anchor-only persistent shared state
+
+	window    []dataset.Itemset // itemised tuples since the last re-mine
+	tracked   []*trackedSet     // frequent itemsets + negative border
+	mines     int
+	maxPooled int // itemset cap derived from the per-window budget
+
+	tuples   int
+	wall     time.Duration
+	overhead time.Duration
+	poolInv  int64 // invocations at the end of the last materialisation
+}
+
+// trackedSet is one itemset whose running frequency the stream maintains
+// between re-mines.
+type trackedSet struct {
+	set      dataset.Itemset
+	count    int  // occurrences in the current window
+	frequent bool // currently materialised
+}
+
+// NewStream creates a streaming explainer. Coverage rows for Anchor are
+// accumulated from the stream itself.
+func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, error) {
+	if st == nil || cls == nil {
+		return nil, fmt.Errorf("core: NewStream needs stats and a classifier")
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := &Stream{
+		opts: opts,
+		st:   st,
+		repo: cache.NewRepo(opts.CacheBytes),
+	}
+	// Anchor's coverage sample grows with the stream: the engine holds a
+	// reference to the slice header, so rebuild the engine lazily instead.
+	// Simpler: give Anchor the window slice at first mine; coverage of a
+	// rule is memoised on first use, so early tuples use window coverage.
+	s.eng = newEngine(opts, st, cls, nil, rng)
+	s.gen = perturb.NewGenerator(st, rng)
+	// Same resource rule as the batch variant: never spend more than
+	// ~20 % of a window's sequential classifier budget on materialising
+	// pooled perturbations, or small windows drown in pool construction.
+	s.maxPooled = opts.MaxItemsets
+	if cap := poolBudget(opts, opts.StreamRecompute) / opts.Tau; cap < s.maxPooled {
+		if cap < 10 {
+			cap = 10
+		}
+		s.maxPooled = cap
+	}
+	if opts.Explainer == Anchor {
+		s.sh = anchor.NewShared(s.eng.cls.NumClasses(), opts.CacheBytes)
+	} else {
+		s.pool = newItemsetPool(s.repo, nil)
+	}
+	return s, nil
+}
+
+// Explain processes one arriving tuple and returns its explanation.
+func (s *Stream) Explain(t []float64) (Explanation, error) {
+	start := time.Now()
+	defer func() { s.wall += time.Since(start) }()
+
+	trackStart := time.Now()
+	items := append(dataset.Itemset(nil), s.st.ItemizeRow(t, nil)...)
+	s.window = append(s.window, items)
+	for _, ts := range s.tracked {
+		if ts.set.ContainsAll(items) {
+			ts.count++
+		}
+	}
+	// Border promotion between re-mines: an itemset whose running window
+	// frequency clears the threshold gets materialised immediately. The
+	// window must be large enough (and the count high enough in absolute
+	// terms) that small-sample variance does not promote marginal
+	// itemsets, and the pool size cap still applies.
+	if *s.opts.StreamBorder && len(s.window) >= 50 {
+		minCount := int(s.opts.MinSupport * float64(len(s.window)))
+		if minCount < 5 {
+			minCount = 5
+		}
+		for _, ts := range s.tracked {
+			if ts.frequent || ts.count < minCount {
+				continue
+			}
+			if s.pooledCount() >= s.maxPooled {
+				break
+			}
+			s.materialize(ts.set, -1)
+			ts.frequent = true
+			if s.pool != nil {
+				s.pool.itemsets = appendItemset(s.pool.itemsets, ts.set)
+				s.pool.longestView = appendLongest(s.pool.longestView, ts.set)
+			}
+		}
+	}
+	s.overhead += time.Since(trackStart)
+
+	if len(s.window) >= s.opts.StreamRecompute {
+		s.remine()
+	}
+
+	var pl explain.Pool
+	if s.pool != nil && len(s.pool.itemsets) > 0 {
+		s.pool.beginTuple()
+		pl = s.pool
+	}
+	exp, err := s.eng.explain(t, pl, s.sh)
+	if err != nil {
+		return Explanation{}, err
+	}
+	s.tuples++
+	return exp, nil
+}
+
+// remine recomputes the frequent itemsets (and negative border) over the
+// window, materialises newly frequent itemsets, evicts ones that fell out
+// of fashion, and resets the window.
+func (s *Stream) remine() {
+	mineStart := time.Now()
+	res, err := fim.Mine(s.window, fim.Config{
+		MinSupport:  effectiveSupport(s.opts.MinSupport, len(s.window)),
+		MaxLen:      s.opts.MaxItemsetLen,
+		WithBorder:  *s.opts.StreamBorder,
+		MaxPerLevel: 4 * s.opts.MaxItemsets,
+	})
+	s.overhead += time.Since(mineStart)
+	if err != nil {
+		// Config is validated at construction; mining over a non-empty
+		// window cannot fail. Keep the old state if it somehow does.
+		return
+	}
+	frequent := res.Frequent
+	if len(frequent) > s.maxPooled {
+		frequent = frequent[:s.maxPooled]
+	}
+
+	// Evict repository entries whose itemset is no longer frequent
+	// ("any frequent itemset that becomes infrequent is kicked out along
+	// its perturbations", §3.5).
+	keep := make(map[dataset.ItemsetKey]bool, len(frequent))
+	for _, m := range frequent {
+		keep[m.Set.Key()] = true
+	}
+	repo := s.repo
+	if s.sh != nil {
+		repo = s.sh.Repo
+	}
+	for _, key := range repo.Keys() {
+		if !keep[key] {
+			repo.Delete(key)
+		}
+	}
+
+	// Materialise newly frequent itemsets and rebuild the tracked list
+	// (frequent itemsets + negative border).
+	s.tracked = s.tracked[:0]
+	var sets []dataset.Itemset
+	for _, m := range frequent {
+		if !repo.Contains(m.Set.Key()) {
+			s.materialize(m.Set, m.Support)
+		}
+		sets = append(sets, m.Set)
+		s.tracked = append(s.tracked, &trackedSet{set: m.Set, frequent: true})
+	}
+	if *s.opts.StreamBorder {
+		// Track only the most promising border itemsets (the mined border
+		// is sorted by support within each length); an unbounded border
+		// would make per-tuple count maintenance expensive.
+		border := res.Border
+		if len(border) > s.opts.MaxItemsets {
+			border = border[:s.opts.MaxItemsets]
+		}
+		for _, m := range border {
+			s.tracked = append(s.tracked, &trackedSet{set: m.Set})
+		}
+	}
+	if s.pool != nil {
+		s.pool.itemsets = sets
+		longest := append([]dataset.Itemset(nil), sets...)
+		sort.SliceStable(longest, func(i, j int) bool { return len(longest[i]) > len(longest[j]) })
+		s.pool.longestView = longest
+	}
+	s.window = s.window[:0]
+	s.mines++
+}
+
+// materialize generates and labels τ perturbations for an itemset,
+// storing them in the active repository (and, for Anchor, seeding the
+// invariant cache). support < 0 means unknown (border promotion).
+func (s *Stream) materialize(set dataset.Itemset, support float64) {
+	tau := s.opts.Tau
+	if s.sh != nil {
+		rr, _ := s.sh.Inv.Lookup(set.Key())
+		hist := make([]int, s.eng.cls.NumClasses())
+		samples := make([]perturb.Sample, tau)
+		for j := range samples {
+			smp := s.gen.ForItemset(set)
+			smp.Label = s.eng.cls.Predict(smp.Row)
+			hist[smp.Label]++
+			samples[j] = smp
+		}
+		rr.AddTrials(hist)
+		if support >= 0 {
+			rr.Coverage = support
+			rr.HasCoverage = true
+		}
+		s.sh.Repo.Put(set.Key(), samples)
+	} else {
+		samples := make([]perturb.Sample, tau)
+		for j := range samples {
+			smp := s.gen.ForItemset(set)
+			smp.Label = s.eng.cls.Predict(smp.Row)
+			samples[j] = smp
+		}
+		s.repo.Put(set.Key(), samples)
+	}
+	s.poolInv = s.eng.invocations()
+}
+
+// Report returns a snapshot of the stream's accumulated cost accounting.
+func (s *Stream) Report() Report {
+	rep := Report{
+		Tuples:       s.tuples,
+		WallTime:     s.wall,
+		OverheadTime: s.overhead,
+		Invocations:  s.eng.invocations(),
+	}
+	if s.pool != nil {
+		rep.OverheadTime += s.pool.retrieval
+		rep.ReusedSamples = s.pool.reused
+		rep.Cache = s.repo.Stats()
+		rep.FrequentItemsets = len(s.pool.itemsets)
+	}
+	if s.sh != nil {
+		rep.Cache = s.sh.Repo.Stats()
+		rep.FrequentItemsets = s.sh.Repo.Len()
+	}
+	return rep
+}
+
+// Mines reports how many itemset recomputations have run (diagnostics and
+// tests).
+func (s *Stream) Mines() int { return s.mines }
+
+// pooledCount returns how many itemsets currently have materialised
+// perturbations.
+func (s *Stream) pooledCount() int {
+	if s.sh != nil {
+		return s.sh.Repo.Len()
+	}
+	return s.repo.Len()
+}
+
+// appendItemset adds set to list if not already present.
+func appendItemset(list []dataset.Itemset, set dataset.Itemset) []dataset.Itemset {
+	key := set.Key()
+	for _, f := range list {
+		if f.Key() == key {
+			return list
+		}
+	}
+	return append(list, set)
+}
+
+// appendLongest inserts set keeping the longest-first ordering.
+func appendLongest(list []dataset.Itemset, set dataset.Itemset) []dataset.Itemset {
+	list = appendItemset(list, set)
+	sort.SliceStable(list, func(i, j int) bool { return len(list[i]) > len(list[j]) })
+	return list
+}
+
+// statsFor exposes the active repository stats (tests).
+func (s *Stream) statsFor() cache.Stats {
+	if s.sh != nil {
+		return s.sh.Repo.Stats()
+	}
+	return s.repo.Stats()
+}
+
+var _ rf.Classifier = (*rf.Counting)(nil)

@@ -1,0 +1,301 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"shahin/internal/dataset"
+)
+
+func TestNamesAndSpec(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("Names()=%v want 5 datasets", names)
+	}
+	for _, n := range names {
+		c, err := Spec(n)
+		if err != nil {
+			t.Fatalf("Spec(%q): %v", n, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Spec(%q) invalid: %v", n, err)
+		}
+	}
+	if _, err := Spec("nope"); err == nil {
+		t.Fatal("Spec(nope) should fail")
+	}
+}
+
+func TestSpecReturnsCopy(t *testing.T) {
+	a, _ := Spec("census")
+	a.Cat[0].Card = 9999
+	b, _ := Spec("census")
+	if b.Cat[0].Card == 9999 {
+		t.Fatal("Spec returned shared state")
+	}
+}
+
+// Table 1 shape: attribute counts and max domain cardinality must match
+// the paper for every named dataset.
+func TestSpecsMatchTable1(t *testing.T) {
+	want := map[string]struct{ rows, cat, num, maxDC int }{
+		"census":     {299285, 27, 15, 18},
+		"recidivism": {9549, 14, 5, 20},
+		"lending":    {42536, 26, 24, 837},
+		"kddcup99":   {4000000, 13, 27, 490},
+		"covertype":  {581012, 44, 10, 7},
+	}
+	for name, w := range want {
+		c, err := Spec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Rows != w.rows {
+			t.Errorf("%s rows=%d want %d", name, c.Rows, w.rows)
+		}
+		if len(c.Cat) != w.cat {
+			t.Errorf("%s #CatA=%d want %d", name, len(c.Cat), w.cat)
+		}
+		if len(c.Num) != w.num {
+			t.Errorf("%s #NumA=%d want %d", name, len(c.Num), w.num)
+		}
+		maxDC := 0
+		for _, cs := range c.Cat {
+			if cs.Card > maxDC {
+				maxDC = cs.Card
+			}
+		}
+		if maxDC != w.maxDC {
+			t.Errorf("%s #MaxDC=%d want %d", name, maxDC, w.maxDC)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := map[string]*Config{
+		"no name":    {Cat: []CatSpec{{Card: 2}}},
+		"no attrs":   {Name: "x"},
+		"card 1":     {Name: "x", Cat: []CatSpec{{Card: 1}}},
+		"neg skew":   {Name: "x", Cat: []CatSpec{{Card: 2, Skew: -1}}},
+		"zero std":   {Name: "x", Num: []NumSpec{{Std: 0}}},
+		"high noise": {Name: "x", Cat: []CatSpec{{Card: 2}}, FlipNoise: 0.5},
+	}
+	for name, c := range cases {
+		if c.Validate() == nil {
+			t.Errorf("config %q should be invalid", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c, _ := Spec("recidivism")
+	a, err := c.Generate(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Generate(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := range a.Cols {
+		for i := range a.Cols[col] {
+			if a.Cols[col][i] != b.Cols[col][i] {
+				t.Fatalf("generation not deterministic at (%d,%d)", i, col)
+			}
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels not deterministic")
+		}
+	}
+	diff, err := c.Generate(200, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Cols[0] {
+		if a.Cols[0][i] != diff.Cols[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateValidAndShaped(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := Spec(name)
+		d, err := c.Generate(300, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.NumRows() != 300 {
+			t.Fatalf("%s: rows=%d", name, d.NumRows())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: invalid dataset: %v", name, err)
+		}
+		if d.Schema.MaxCardinality() != maxCard(c) {
+			t.Fatalf("%s: schema maxDC=%d want %d", name, d.Schema.MaxCardinality(), maxCard(c))
+		}
+	}
+}
+
+func maxCard(c *Config) int {
+	m := 0
+	for _, cs := range c.Cat {
+		if cs.Card > m {
+			m = cs.Card
+		}
+	}
+	return m
+}
+
+func TestGenerateDefaultRows(t *testing.T) {
+	c := &Config{Name: "tiny", Rows: 25, Cat: []CatSpec{{Card: 3, Skew: 1}}}
+	d, err := c.Generate(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 25 {
+		t.Fatalf("default rows=%d want 25", d.NumRows())
+	}
+}
+
+// Zipf skew must show up in the data: the most frequent value of a skewed
+// categorical attribute should be substantially more common than uniform.
+func TestGenerateSkewedMarginals(t *testing.T) {
+	c, _ := Spec("census")
+	d, err := c.Generate(5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dataset.Compute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last categorical attribute has the largest cardinality (18).
+	a := len(c.Cat) - 1
+	card := c.Cat[a].Card
+	uniform := 1.0 / float64(card)
+	top := 0.0
+	for _, f := range st.Freq[a] {
+		if f > top {
+			top = f
+		}
+	}
+	if top < 2*uniform {
+		t.Fatalf("top value freq %.3f not skewed vs uniform %.3f", top, uniform)
+	}
+}
+
+// Labels must carry signal: both classes present, and the planted rule
+// must beat random guessing when re-applied (it generated the labels
+// modulo 5% noise).
+func TestGenerateLabelsHaveSignal(t *testing.T) {
+	c, _ := Spec("covertype")
+	d, err := c.Generate(2000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, l := range d.Labels {
+		pos += l
+	}
+	frac := float64(pos) / float64(len(d.Labels))
+	if frac < 0.05 || frac > 0.95 {
+		t.Fatalf("degenerate class balance %.3f", frac)
+	}
+	// A trivially learnable concept: a depth-limited lookup of the row
+	// itself reproduces labels at >= 1 - noise on average. We approximate
+	// by checking the generator's noise bound holds: regenerate with the
+	// same seed and count agreement (must be identical, noise included).
+	d2, _ := c.Generate(2000, 13)
+	for i := range d.Labels {
+		if d.Labels[i] != d2.Labels[i] {
+			t.Fatal("same-seed labels disagree")
+		}
+	}
+}
+
+// Numeric attributes must follow their configured moments.
+func TestGenerateNumericMoments(t *testing.T) {
+	c := &Config{
+		Name: "m",
+		Num:  []NumSpec{{Mean: 10, Std: 2}, {Mean: -3, Std: 0.5}},
+	}
+	d, err := c.Generate(20000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dataset.Compute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Mean[0]-10) > 0.1 || math.Abs(st.Std[0]-2) > 0.1 {
+		t.Fatalf("attr 0 moments (%g, %g) want (10, 2)", st.Mean[0], st.Std[0])
+	}
+	if math.Abs(st.Mean[1]+3) > 0.05 || math.Abs(st.Std[1]-0.5) > 0.05 {
+		t.Fatalf("attr 1 moments (%g, %g) want (-3, 0.5)", st.Mean[1], st.Std[1])
+	}
+}
+
+func TestGeomCardEndpoints(t *testing.T) {
+	if got := geomCard(0, 10, 100); got != 2 {
+		t.Fatalf("first card=%d want 2", got)
+	}
+	if got := geomCard(9, 10, 100); got != 100 {
+		t.Fatalf("last card=%d want 100", got)
+	}
+	if got := geomCard(0, 1, 50); got != 50 {
+		t.Fatalf("single attr card=%d want 50", got)
+	}
+	for i := 1; i < 10; i++ {
+		if geomCard(i, 10, 100) < geomCard(i-1, 10, 100) {
+			t.Fatal("cardinalities not monotone")
+		}
+	}
+}
+
+func TestCorrelationValidation(t *testing.T) {
+	c := &Config{Name: "x", Cat: []CatSpec{{Card: 2}}, Correlation: 1.5}
+	if c.Validate() == nil {
+		t.Fatal("correlation > 1 accepted")
+	}
+	c.Correlation = -0.1
+	if c.Validate() == nil {
+		t.Fatal("negative correlation accepted")
+	}
+}
+
+// Correlated generation must make adjacent attributes co-occur far more
+// often than independent generation does.
+func TestCorrelationCouplesAdjacentColumns(t *testing.T) {
+	base := &Config{
+		Name: "corr",
+		Cat:  []CatSpec{{Card: 5, Skew: 1}, {Card: 5, Skew: 1}},
+	}
+	agree := func(corr float64) float64 {
+		c := *base
+		c.Correlation = corr
+		d, err := c.Generate(4000, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := 0
+		for i := 0; i < d.NumRows(); i++ {
+			if d.Cols[0][i] == d.Cols[1][i] {
+				same++
+			}
+		}
+		return float64(same) / float64(d.NumRows())
+	}
+	indep := agree(0)
+	coupled := agree(0.8)
+	if coupled < indep+0.3 {
+		t.Fatalf("correlation did not couple columns: %.3f vs %.3f", coupled, indep)
+	}
+}

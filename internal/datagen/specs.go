@@ -1,0 +1,79 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The named configurations mirror Table 1 of the paper: per dataset, the
+// number of tuples, categorical attributes (#CatA), numerical attributes
+// (#NumA), and the largest categorical domain cardinality (#MaxDC).
+// Cardinalities of the remaining categorical attributes are interpolated
+// geometrically between 2 and #MaxDC, and marginals get a moderate Zipf
+// skew so value co-occurrence (and hence frequent itemsets) resembles
+// real-world tabular data.
+
+// specs maps dataset name to its paper-shaped configuration.
+var specs = map[string]*Config{
+	"census":     shaped("census", 299285, 27, 15, 18, 1.1),
+	"recidivism": shaped("recidivism", 9549, 14, 5, 20, 1.1),
+	"lending":    shaped("lending", 42536, 26, 24, 837, 1.3),
+	"kddcup99":   shaped("kddcup99", 4000000, 13, 27, 490, 1.5),
+	"covertype":  shaped("covertype", 581012, 44, 10, 7, 0.9),
+}
+
+// Names returns the available named configs in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(specs))
+	for n := range specs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec returns a copy of a named configuration.
+func Spec(name string) (*Config, error) {
+	c, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown dataset %q (have %v)", name, Names())
+	}
+	out := *c
+	out.Cat = append([]CatSpec(nil), c.Cat...)
+	out.Num = append([]NumSpec(nil), c.Num...)
+	return &out, nil
+}
+
+// shaped builds a config with nCat categorical attributes whose
+// cardinalities ramp geometrically from 2 up to maxDC, and nNum standard
+// normal numeric attributes.
+func shaped(name string, rows, nCat, nNum, maxDC int, skew float64) *Config {
+	c := &Config{Name: name, Rows: rows, FlipNoise: 0.05}
+	for i := 0; i < nCat; i++ {
+		c.Cat = append(c.Cat, CatSpec{Card: geomCard(i, nCat, maxDC), Skew: skew})
+	}
+	for i := 0; i < nNum; i++ {
+		// Spread the scales a little so quartile bins differ per column.
+		c.Num = append(c.Num, NumSpec{Mean: float64(i), Std: 1 + float64(i%5)})
+	}
+	return c
+}
+
+// geomCard interpolates cardinalities geometrically from 2 (i = 0) to
+// maxDC (i = n-1).
+func geomCard(i, n, maxDC int) int {
+	if n == 1 {
+		return maxDC
+	}
+	lo, hi := 2.0, float64(maxDC)
+	frac := float64(i) / float64(n-1)
+	card := int(lo*math.Pow(hi/lo, frac) + 0.5)
+	if card < 2 {
+		card = 2
+	}
+	if card > maxDC {
+		card = maxDC
+	}
+	return card
+}

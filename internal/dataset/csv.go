@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// labelColumn is the header name of the class column in CSV round-trips.
+const labelColumn = "class"
+
+// WriteCSV writes the dataset with a header row. Categorical cells are
+// written as their value labels, numeric cells with %g, and labels (when
+// present) as a trailing "class" column holding the class name.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	hasLabels := d.Labels != nil
+
+	header := make([]string, 0, d.NumAttrs()+1)
+	for i := range d.Schema.Attrs {
+		header = append(header, d.Schema.Attrs[i].Name)
+	}
+	if hasLabels {
+		header = append(header, labelColumn)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	rec := make([]string, len(header))
+	row := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumRows(); i++ {
+		row = d.Row(i, row)
+		for a, v := range row {
+			attr := &d.Schema.Attrs[a]
+			if attr.Kind == Categorical {
+				rec[a] = attr.Values[int(v)]
+			} else {
+				rec[a] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if hasLabels {
+			rec[len(rec)-1] = d.Schema.Classes[d.Labels[i]]
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset in the format produced by WriteCSV, validating
+// the header against the schema. A trailing "class" column, when present,
+// is parsed into labels.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	hasLabels := false
+	switch {
+	case len(header) == schema.NumAttrs():
+	case len(header) == schema.NumAttrs()+1 && header[len(header)-1] == labelColumn:
+		hasLabels = true
+	default:
+		return nil, fmt.Errorf("dataset: CSV header has %d columns, schema has %d attributes", len(header), schema.NumAttrs())
+	}
+	for i := range schema.Attrs {
+		if header[i] != schema.Attrs[i].Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, header[i], schema.Attrs[i].Name)
+		}
+	}
+
+	// Value and class lookup tables.
+	valueIdx := make([]map[string]int, schema.NumAttrs())
+	for a := range schema.Attrs {
+		if schema.Attrs[a].Kind != Categorical {
+			continue
+		}
+		m := make(map[string]int, len(schema.Attrs[a].Values))
+		for i, v := range schema.Attrs[a].Values {
+			m[v] = i
+		}
+		valueIdx[a] = m
+	}
+	classIdx := make(map[string]int, schema.NumClasses())
+	for i, c := range schema.Classes {
+		classIdx[c] = i
+	}
+
+	d := New(schema, 0)
+	row := make([]float64, schema.NumAttrs())
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		for a := 0; a < schema.NumAttrs(); a++ {
+			attr := &schema.Attrs[a]
+			if attr.Kind == Categorical {
+				vi, ok := valueIdx[a][rec[a]]
+				if !ok {
+					return nil, fmt.Errorf("dataset: line %d: unknown value %q for attribute %q", line, rec[a], attr.Name)
+				}
+				row[a] = float64(vi)
+			} else {
+				v, err := strconv.ParseFloat(rec[a], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: attribute %q: %v", line, attr.Name, err)
+				}
+				row[a] = v
+			}
+		}
+		label := -1
+		if hasLabels {
+			ci, ok := classIdx[rec[len(rec)-1]]
+			if !ok {
+				return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, rec[len(rec)-1])
+			}
+			label = ci
+		}
+		d.AppendRow(row, label)
+	}
+	return d, nil
+}

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a column-major table of tuples plus optional class labels.
+// Categorical cells store float64(valueIndex); numeric cells store the raw
+// value. Column-major layout keeps per-attribute statistics and split
+// search cache-friendly.
+type Dataset struct {
+	Schema *Schema
+	Cols   [][]float64 // len == NumAttrs, each of length NumRows
+	Labels []int       // class index per row; nil for unlabelled data
+}
+
+// New creates an empty dataset with capacity hint n rows.
+func New(schema *Schema, n int) *Dataset {
+	cols := make([][]float64, schema.NumAttrs())
+	for i := range cols {
+		cols[i] = make([]float64, 0, n)
+	}
+	return &Dataset{Schema: schema, Cols: cols}
+}
+
+// NumRows returns the number of tuples.
+func (d *Dataset) NumRows() int {
+	if len(d.Cols) == 0 {
+		return 0
+	}
+	return len(d.Cols[0])
+}
+
+// NumAttrs returns the number of attributes.
+func (d *Dataset) NumAttrs() int { return len(d.Cols) }
+
+// AppendRow appends one tuple (and, if label >= 0 or Labels is already in
+// use, its label). The row slice is copied.
+func (d *Dataset) AppendRow(row []float64, label int) {
+	if len(row) != d.NumAttrs() {
+		panic(fmt.Sprintf("dataset: AppendRow got %d cells want %d", len(row), d.NumAttrs()))
+	}
+	for i, v := range row {
+		d.Cols[i] = append(d.Cols[i], v)
+	}
+	if label >= 0 || d.Labels != nil {
+		d.Labels = append(d.Labels, label)
+	}
+}
+
+// Row copies tuple i into buf (allocating if buf is too small) and returns
+// it.
+func (d *Dataset) Row(i int, buf []float64) []float64 {
+	n := d.NumAttrs()
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for a := 0; a < n; a++ {
+		buf[a] = d.Cols[a][i]
+	}
+	return buf
+}
+
+// Rows materialises rows [lo, hi) as a slice of tuples. Used by callers
+// that need row-major access (the classifiers, the explainers).
+func (d *Dataset) Rows(lo, hi int) [][]float64 {
+	out := make([][]float64, 0, hi-lo)
+	flat := make([]float64, (hi-lo)*d.NumAttrs())
+	for i := lo; i < hi; i++ {
+		row := flat[:d.NumAttrs():d.NumAttrs()]
+		flat = flat[d.NumAttrs():]
+		out = append(out, d.Row(i, row))
+	}
+	return out
+}
+
+// Subset returns a new dataset containing the given row indices, in order.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := New(d.Schema, len(idx))
+	if d.Labels != nil {
+		out.Labels = make([]int, 0, len(idx))
+	}
+	for a := range d.Cols {
+		col := out.Cols[a]
+		src := d.Cols[a]
+		for _, i := range idx {
+			col = append(col, src[i])
+		}
+		out.Cols[a] = col
+	}
+	if d.Labels != nil {
+		for _, i := range idx {
+			out.Labels = append(out.Labels, d.Labels[i])
+		}
+	}
+	return out
+}
+
+// Split partitions the dataset into train (first fraction frac, after a
+// seeded shuffle) and test, mirroring the paper's 1/3 train, 2/3 explain
+// protocol.
+func (d *Dataset) Split(frac float64, rng *rand.Rand) (train, test *Dataset) {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("dataset: Split fraction %g outside (0,1)", frac))
+	}
+	perm := rng.Perm(d.NumRows())
+	cut := int(frac * float64(len(perm)))
+	if cut == 0 {
+		cut = 1
+	}
+	return d.Subset(perm[:cut]), d.Subset(perm[cut:])
+}
+
+// Validate checks that all columns are the same length, labels (when
+// present) match the row count and class range, and categorical cells are
+// integral values inside their domain.
+func (d *Dataset) Validate() error {
+	if err := d.Schema.Validate(); err != nil {
+		return err
+	}
+	if len(d.Cols) != d.Schema.NumAttrs() {
+		return fmt.Errorf("dataset: %d columns for %d attributes", len(d.Cols), d.Schema.NumAttrs())
+	}
+	n := d.NumRows()
+	for a, col := range d.Cols {
+		if len(col) != n {
+			return fmt.Errorf("dataset: column %d has %d rows want %d", a, len(col), n)
+		}
+	}
+	if d.Labels != nil && len(d.Labels) != n {
+		return fmt.Errorf("dataset: %d labels for %d rows", len(d.Labels), n)
+	}
+	for a := range d.Cols {
+		attr := &d.Schema.Attrs[a]
+		if attr.Kind != Categorical {
+			continue
+		}
+		k := attr.Cardinality()
+		for i, v := range d.Cols[a] {
+			iv := int(v)
+			if float64(iv) != v || iv < 0 || iv >= k {
+				return fmt.Errorf("dataset: row %d attr %q: %g is not a valid category in [0,%d)", i, attr.Name, v, k)
+			}
+		}
+	}
+	for i, l := range d.Labels {
+		if l < 0 || l >= d.Schema.NumClasses() {
+			return fmt.Errorf("dataset: row %d label %d outside [0,%d)", i, l, d.Schema.NumClasses())
+		}
+	}
+	return nil
+}

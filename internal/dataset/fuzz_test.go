@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzInferSchema checks that arbitrary CSV input never panics the
+// inference path and that anything it accepts validates.
+func FuzzInferSchema(f *testing.F) {
+	f.Add([]byte("a,b\nx,1\ny,2\n"))
+	f.Add([]byte("a,b,class\nx,1,p\ny,2,q\n"))
+	f.Add([]byte("h\n\n"))
+	f.Add([]byte(",,,\n,,,\n"))
+	f.Add([]byte("a\n\"unterminated\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := InferSchema(bytes.NewReader(data), InferOptions{})
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("inferred dataset invalid: %v", err)
+		}
+	})
+}
+
+// FuzzReadCSV checks that parsing arbitrary bytes against a fixed schema
+// never panics and that accepted datasets validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("color,size,shape\nred,1,circle\n"))
+	f.Add([]byte("color,size,shape,class\nred,1,circle,pos\n"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCSV(bytes.NewReader(data), testSchema())
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parsed dataset invalid: %v", err)
+		}
+	})
+}

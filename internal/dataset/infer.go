@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// InferOptions tunes schema inference.
+type InferOptions struct {
+	// MaxCategories caps the distinct values a column may have and still
+	// be treated as categorical when its cells parse as numbers
+	// (default 20). Non-numeric columns are categorical regardless.
+	MaxCategories int
+	// ClassColumn names the label column (default "class"; empty string
+	// is replaced by the default, use NoClass to disable).
+	ClassColumn string
+	// NoClass disables label detection entirely.
+	NoClass bool
+}
+
+func (o InferOptions) fill() InferOptions {
+	if o.MaxCategories <= 0 {
+		o.MaxCategories = 20
+	}
+	if o.ClassColumn == "" {
+		o.ClassColumn = labelColumn
+	}
+	return o
+}
+
+// InferSchema reads a headered CSV and derives a Schema plus the parsed
+// Dataset in one pass: a column whose cells all parse as floats is
+// numeric, unless it has at most MaxCategories distinct values (then it
+// is treated as a low-cardinality categorical, matching how the paper
+// treats discretised attributes). A column matching ClassColumn becomes
+// the label. Categorical value order is lexicographic, so inference is
+// deterministic.
+func InferSchema(r io.Reader, opts InferOptions) (*Dataset, error) {
+	opts = opts.fill()
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV body: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+
+	classCol := -1
+	if !opts.NoClass {
+		for i, h := range header {
+			if h == opts.ClassColumn {
+				classCol = i
+			}
+		}
+	}
+
+	// Column typing pass.
+	type colInfo struct {
+		numeric  bool
+		distinct map[string]bool
+	}
+	infos := make([]colInfo, len(header))
+	for c := range header {
+		infos[c] = colInfo{numeric: true, distinct: make(map[string]bool)}
+	}
+	for _, rec := range records {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: ragged CSV row (have %d cells want %d)", len(rec), len(header))
+		}
+		for c, cell := range rec {
+			infos[c].distinct[cell] = true
+			if infos[c].numeric {
+				if _, err := strconv.ParseFloat(cell, 64); err != nil {
+					infos[c].numeric = false
+				}
+			}
+		}
+	}
+
+	schema := &Schema{}
+	// valueIdx maps column -> value -> index for categorical columns.
+	valueIdx := make([]map[string]int, len(header))
+	for c, h := range header {
+		if c == classCol {
+			continue
+		}
+		info := &infos[c]
+		if info.numeric && len(info.distinct) > opts.MaxCategories {
+			schema.Attrs = append(schema.Attrs, Attr{Name: h, Kind: Numeric})
+			continue
+		}
+		values := sortedKeys(info.distinct)
+		idx := make(map[string]int, len(values))
+		for i, v := range values {
+			idx[v] = i
+		}
+		valueIdx[c] = idx
+		schema.Attrs = append(schema.Attrs, Attr{Name: h, Kind: Categorical, Values: values})
+	}
+	if classCol >= 0 {
+		schema.Classes = sortedKeys(infos[classCol].distinct)
+	} else {
+		// No labels: a placeholder binary class set keeps the schema valid.
+		schema.Classes = []string{"class0", "class1"}
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+
+	classIdx := make(map[string]int, len(schema.Classes))
+	for i, cls := range schema.Classes {
+		classIdx[cls] = i
+	}
+	d := New(schema, len(records))
+	row := make([]float64, schema.NumAttrs())
+	for _, rec := range records {
+		a := 0
+		label := -1
+		for c, cell := range rec {
+			if c == classCol {
+				label = classIdx[cell]
+				continue
+			}
+			if idx := valueIdx[c]; idx != nil {
+				row[a] = float64(idx[cell])
+			} else {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %q: %v", header[c], err)
+				}
+				row[a] = v
+			}
+			a++
+		}
+		d.AppendRow(row, label)
+	}
+	if classCol < 0 {
+		d.Labels = nil
+	}
+	return d, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

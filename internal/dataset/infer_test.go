@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const inferCSV = `city,age,income,vip,class
+paris,34,51000.5,yes,pos
+tokyo,29,48000,no,neg
+paris,41,60000,no,pos
+lima,34,39000,yes,neg
+tokyo,55,72000.25,no,pos
+paris,23,31000,yes,neg
+lima,37,45500,no,pos
+tokyo,48,58000,yes,neg
+paris,31,47250,no,pos
+lima,26,36800,yes,neg
+paris,52,69000,no,pos
+tokyo,39,52750,yes,neg
+lima,44,61500,no,pos
+paris,28,41000,yes,neg
+tokyo,33,49900,no,pos
+lima,47,63250,yes,neg
+paris,36,53000,no,pos
+tokyo,25,38500,yes,neg
+lima,51,67800,no,pos
+paris,42,59400,yes,neg
+tokyo,30,46200,no,pos
+paris,60,71300,yes,neg
+`
+
+func TestInferSchemaTypes(t *testing.T) {
+	d, err := InferSchema(strings.NewReader(inferCSV), InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Attr{}
+	for i := range d.Schema.Attrs {
+		byName[d.Schema.Attrs[i].Name] = &d.Schema.Attrs[i]
+	}
+	if a := byName["city"]; a == nil || a.Kind != Categorical || a.Cardinality() != 3 {
+		t.Fatalf("city: %+v", a)
+	}
+	if a := byName["vip"]; a == nil || a.Kind != Categorical || a.Cardinality() != 2 {
+		t.Fatalf("vip: %+v", a)
+	}
+	// age has 21 distinct numeric values (> MaxCategories = 20) -> numeric.
+	if a := byName["age"]; a == nil || a.Kind != Numeric {
+		t.Fatalf("age: %+v", a)
+	}
+	if a := byName["income"]; a == nil || a.Kind != Numeric {
+		t.Fatalf("income: %+v", a)
+	}
+	if len(d.Schema.Classes) != 2 {
+		t.Fatalf("classes: %v", d.Schema.Classes)
+	}
+	if d.NumRows() != 22 || len(d.Labels) != 22 {
+		t.Fatalf("rows=%d labels=%d", d.NumRows(), len(d.Labels))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("inferred dataset invalid: %v", err)
+	}
+}
+
+func TestInferSchemaLowCardinalityNumeric(t *testing.T) {
+	// A numeric-looking column with few distinct values becomes
+	// categorical (like the 0/1 indicator columns of Covertype).
+	csvData := "flag,x,class\n0,1.5,a\n1,2.5,b\n0,3.5,a\n1,4.5,b\n0,5.5,a\n"
+	d, err := InferSchema(strings.NewReader(csvData), InferOptions{MaxCategories: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema.Attrs[0].Kind != Categorical {
+		t.Fatalf("flag should be categorical: %+v", d.Schema.Attrs[0])
+	}
+	if d.Schema.Attrs[1].Kind != Numeric {
+		t.Fatalf("x should be numeric: %+v", d.Schema.Attrs[1])
+	}
+}
+
+func TestInferSchemaNoClass(t *testing.T) {
+	csvData := "a,b\nx,1\ny,2\n"
+	d, err := InferSchema(strings.NewReader(csvData), InferOptions{NoClass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Labels != nil {
+		t.Fatal("NoClass produced labels")
+	}
+	if d.Schema.NumAttrs() != 2 {
+		t.Fatalf("attrs=%d", d.Schema.NumAttrs())
+	}
+}
+
+func TestInferSchemaCustomClassColumn(t *testing.T) {
+	csvData := "a,outcome\nx,good\ny,bad\nz,good\n"
+	d, err := InferSchema(strings.NewReader(csvData), InferOptions{ClassColumn: "outcome"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Schema.Classes) != 2 || d.Schema.Classes[0] != "bad" {
+		t.Fatalf("classes=%v", d.Schema.Classes)
+	}
+	if d.Schema.NumAttrs() != 1 {
+		t.Fatalf("attrs=%d (class column leaked in)", d.Schema.NumAttrs())
+	}
+	// Deterministic lexicographic labels: bad=0, good=1.
+	if d.Labels[0] != 1 || d.Labels[1] != 0 {
+		t.Fatalf("labels=%v", d.Labels)
+	}
+}
+
+func TestInferSchemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty body": "a,b\n",
+		"ragged":     "a,b\nx\n",
+	}
+	for name, data := range cases {
+		if _, err := InferSchema(strings.NewReader(data), InferOptions{}); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
+// Round trip: a dataset written by WriteCSV must be inferable and the
+// inferred categorical values must match (lexicographic order).
+func TestInferSchemaRoundTripWithWriteCSV(t *testing.T) {
+	orig := testData(60, 30)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	d, err := InferSchema(strings.NewReader(sb.String()), InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != orig.NumRows() {
+		t.Fatalf("rows=%d want %d", d.NumRows(), orig.NumRows())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The size column must come back numeric.
+	for i := range d.Schema.Attrs {
+		if d.Schema.Attrs[i].Name == "size" && d.Schema.Attrs[i].Kind != Numeric {
+			t.Fatal("size inferred as categorical")
+		}
+	}
+}

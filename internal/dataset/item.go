@@ -1,0 +1,124 @@
+package dataset
+
+import "fmt"
+
+// Item is a packed (attribute, bin) pair: the unit the frequent itemset
+// miner, the perturbation cache and Anchor predicates all speak. The
+// attribute index lives in the high 16 bits and the bin in the low 16, so
+// items sort by attribute first, which keeps itemsets canonically ordered.
+type Item uint32
+
+// MakeItem packs an (attribute, bin) pair. It panics if either component
+// exceeds 16 bits; real tabular schemas are nowhere near that.
+func MakeItem(attr, bin int) Item {
+	if attr < 0 || attr >= 1<<16 || bin < 0 || bin >= 1<<16 {
+		panic(fmt.Sprintf("dataset: MakeItem(%d, %d) out of 16-bit range", attr, bin))
+	}
+	return Item(uint32(attr)<<16 | uint32(bin))
+}
+
+// Attr returns the attribute index.
+func (it Item) Attr() int { return int(it >> 16) }
+
+// Bin returns the bin index.
+func (it Item) Bin() int { return int(it & 0xffff) }
+
+// String renders the item for debugging, e.g. "a3=b1".
+func (it Item) String() string { return fmt.Sprintf("a%d=b%d", it.Attr(), it.Bin()) }
+
+// ItemizeRow discretises a raw tuple into its items, one per attribute, in
+// ascending attribute order. buf is reused when large enough.
+func (s *Stats) ItemizeRow(row []float64, buf []Item) []Item {
+	n := len(row)
+	if cap(buf) < n {
+		buf = make([]Item, n)
+	}
+	buf = buf[:n]
+	for a, v := range row {
+		buf[a] = MakeItem(a, s.Bin(a, v))
+	}
+	return buf
+}
+
+// Itemset is a canonically ordered (ascending Item value, hence ascending
+// attribute) set of items with at most one item per attribute.
+type Itemset []Item
+
+// Key returns a comparable map key for the itemset. Itemsets of up to four
+// items pack losslessly into the returned value's array; longer itemsets
+// never arise in this system (the miner caps length), and Key panics if
+// one does so the cap is enforced rather than silently collided.
+func (is Itemset) Key() ItemsetKey {
+	if len(is) > maxItemsetLen {
+		panic(fmt.Sprintf("dataset: Itemset.Key on %d items (max %d)", len(is), maxItemsetLen))
+	}
+	var k ItemsetKey
+	k.n = uint8(len(is))
+	copy(k.items[:], is)
+	return k
+}
+
+// maxItemsetLen bounds mined itemset length; see Itemset.Key.
+const maxItemsetLen = 4
+
+// MaxItemsetLen is the longest itemset the system mines or caches.
+const MaxItemsetLen = maxItemsetLen
+
+// ItemsetKey is a comparable encoding of an Itemset, usable as a map key.
+type ItemsetKey struct {
+	items [maxItemsetLen]Item
+	n     uint8
+}
+
+// Itemset reconstructs the itemset encoded by the key.
+func (k ItemsetKey) Itemset() Itemset {
+	out := make(Itemset, k.n)
+	copy(out, k.items[:k.n])
+	return out
+}
+
+// Len returns the number of items in the key.
+func (k ItemsetKey) Len() int { return int(k.n) }
+
+// ContainsAll reports whether the (attribute-sorted) row items include
+// every item of the itemset. Both sides must be in canonical order; the
+// scan is a linear merge.
+func (is Itemset) ContainsAll(rowItems []Item) bool {
+	j := 0
+	for _, want := range is {
+		for j < len(rowItems) && rowItems[j] < want {
+			j++
+		}
+		if j >= len(rowItems) || rowItems[j] != want {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// SubsetOf reports whether is ⊆ other, both in canonical order.
+func (is Itemset) SubsetOf(other Itemset) bool {
+	return is.ContainsAll(other)
+}
+
+// Attrs returns the attribute indices covered by the itemset.
+func (is Itemset) Attrs() []int {
+	out := make([]int, len(is))
+	for i, it := range is {
+		out[i] = it.Attr()
+	}
+	return out
+}
+
+// String renders the itemset for debugging.
+func (is Itemset) String() string {
+	s := "{"
+	for i, it := range is {
+		if i > 0 {
+			s += " "
+		}
+		s += it.String()
+	}
+	return s + "}"
+}

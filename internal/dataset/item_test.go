@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeItemRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ attr, bin int }{
+		{0, 0}, {1, 2}, {65535, 65535}, {42, 7},
+	} {
+		it := MakeItem(tc.attr, tc.bin)
+		if it.Attr() != tc.attr || it.Bin() != tc.bin {
+			t.Fatalf("MakeItem(%d,%d) -> (%d,%d)", tc.attr, tc.bin, it.Attr(), it.Bin())
+		}
+	}
+}
+
+func TestMakeItemRangePanics(t *testing.T) {
+	for _, tc := range []struct{ attr, bin int }{
+		{-1, 0}, {0, -1}, {1 << 16, 0}, {0, 1 << 16},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeItem(%d,%d) did not panic", tc.attr, tc.bin)
+				}
+			}()
+			MakeItem(tc.attr, tc.bin)
+		}()
+	}
+}
+
+func TestItemOrderingByAttr(t *testing.T) {
+	// Items must sort by attribute first regardless of bin.
+	a := MakeItem(1, 65535)
+	b := MakeItem(2, 0)
+	if a >= b {
+		t.Fatal("item ordering is not attribute-major")
+	}
+}
+
+func TestItemizeRow(t *testing.T) {
+	d := testData(500, 20)
+	st, err := Compute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := d.Row(3, nil)
+	items := st.ItemizeRow(row, nil)
+	if len(items) != d.NumAttrs() {
+		t.Fatalf("ItemizeRow len=%d want %d", len(items), d.NumAttrs())
+	}
+	if !sort.SliceIsSorted(items, func(i, j int) bool { return items[i] < items[j] }) {
+		t.Fatal("ItemizeRow output not sorted")
+	}
+	for a, it := range items {
+		if it.Attr() != a {
+			t.Fatalf("item %d has attr %d", a, it.Attr())
+		}
+		if it.Bin() != st.Bin(a, row[a]) {
+			t.Fatalf("item %d bin=%d want %d", a, it.Bin(), st.Bin(a, row[a]))
+		}
+	}
+	// Reuse path: a big enough buffer must be reused.
+	buf := make([]Item, 10)
+	out := st.ItemizeRow(row, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("ItemizeRow did not reuse buffer")
+	}
+}
+
+func TestItemsetKeyRoundTrip(t *testing.T) {
+	is := Itemset{MakeItem(0, 1), MakeItem(3, 2), MakeItem(9, 0)}
+	k := is.Key()
+	if k.Len() != 3 {
+		t.Fatalf("key len=%d", k.Len())
+	}
+	back := k.Itemset()
+	if len(back) != len(is) {
+		t.Fatalf("round trip len=%d", len(back))
+	}
+	for i := range is {
+		if back[i] != is[i] {
+			t.Fatalf("round trip item %d = %v want %v", i, back[i], is[i])
+		}
+	}
+	// Distinct itemsets yield distinct keys.
+	other := Itemset{MakeItem(0, 1), MakeItem(3, 2)}
+	if other.Key() == k {
+		t.Fatal("distinct itemsets collided")
+	}
+}
+
+func TestItemsetKeyTooLongPanics(t *testing.T) {
+	is := Itemset{MakeItem(0, 0), MakeItem(1, 0), MakeItem(2, 0), MakeItem(3, 0), MakeItem(4, 0)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Key on over-long itemset did not panic")
+		}
+	}()
+	is.Key()
+}
+
+func TestContainsAll(t *testing.T) {
+	row := []Item{MakeItem(0, 1), MakeItem(1, 0), MakeItem(2, 3), MakeItem(3, 2)}
+	cases := []struct {
+		is   Itemset
+		want bool
+	}{
+		{Itemset{}, true},
+		{Itemset{MakeItem(1, 0)}, true},
+		{Itemset{MakeItem(0, 1), MakeItem(3, 2)}, true},
+		{Itemset{MakeItem(0, 2)}, false},
+		{Itemset{MakeItem(1, 0), MakeItem(4, 0)}, false},
+		{Itemset{MakeItem(0, 1), MakeItem(1, 0), MakeItem(2, 3), MakeItem(3, 2)}, true},
+	}
+	for i, tc := range cases {
+		if got := tc.is.ContainsAll(row); got != tc.want {
+			t.Errorf("case %d: ContainsAll=%v want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := Itemset{MakeItem(1, 1), MakeItem(3, 0)}
+	b := Itemset{MakeItem(0, 2), MakeItem(1, 1), MakeItem(3, 0)}
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+}
+
+func TestItemsetAttrsAndString(t *testing.T) {
+	is := Itemset{MakeItem(2, 1), MakeItem(5, 0)}
+	attrs := is.Attrs()
+	if len(attrs) != 2 || attrs[0] != 2 || attrs[1] != 5 {
+		t.Fatalf("Attrs=%v", attrs)
+	}
+	if got := is.String(); got != "{a2=b1 a5=b0}" {
+		t.Fatalf("String=%q", got)
+	}
+}
+
+// Property: Key round-trips any valid itemset of length <= max, and
+// ContainsAll(row) agrees with a naive map-based check.
+func TestQuickItemsetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build a random row over 8 attributes, 4 bins each.
+		row := make([]Item, 8)
+		inRow := map[Item]bool{}
+		for a := range row {
+			row[a] = MakeItem(a, r.Intn(4))
+			inRow[row[a]] = true
+		}
+		// Random candidate itemset.
+		n := r.Intn(MaxItemsetLen + 1)
+		attrs := rng.Perm(8)[:n]
+		sort.Ints(attrs)
+		is := make(Itemset, 0, n)
+		for _, a := range attrs {
+			is = append(is, MakeItem(a, r.Intn(4)))
+		}
+		want := true
+		for _, it := range is {
+			if !inRow[it] {
+				want = false
+			}
+		}
+		if is.ContainsAll(row) != want {
+			return false
+		}
+		back := is.Key().Itemset()
+		if len(back) != len(is) {
+			return false
+		}
+		for i := range is {
+			if back[i] != is[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package dataset implements the tabular-data substrate every other
+// component builds on: schemas with categorical and numerical attributes,
+// column-major datasets, training-distribution statistics, quartile
+// discretisation, and the packed (attribute, bin) item encoding shared by
+// the frequent itemset miner, the perturbation engine, and the explainers.
+package dataset
+
+import "fmt"
+
+// Kind distinguishes categorical from numerical attributes.
+type Kind uint8
+
+const (
+	// Categorical attributes take one of a fixed set of values; cells store
+	// the value's index.
+	Categorical Kind = iota
+	// Numeric attributes take real values; for itemisation they are
+	// discretised into quartile bins (paper §3.6).
+	Numeric
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Attr describes a single attribute (column).
+type Attr struct {
+	Name   string
+	Kind   Kind
+	Values []string // categorical value labels; index is the stored cell value
+}
+
+// Cardinality returns the domain size of a categorical attribute and 0 for
+// numeric attributes.
+func (a *Attr) Cardinality() int {
+	if a.Kind != Categorical {
+		return 0
+	}
+	return len(a.Values)
+}
+
+// Schema describes the columns of a dataset plus the class labels the
+// classifier predicts.
+type Schema struct {
+	Attrs   []Attr
+	Classes []string // class label names; predictions index into this
+}
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// NumClasses returns the number of target classes.
+func (s *Schema) NumClasses() int { return len(s.Classes) }
+
+// CategoricalIdx returns the indices of the categorical attributes.
+func (s *Schema) CategoricalIdx() []int {
+	var out []int
+	for i := range s.Attrs {
+		if s.Attrs[i].Kind == Categorical {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumericIdx returns the indices of the numeric attributes.
+func (s *Schema) NumericIdx() []int {
+	var out []int
+	for i := range s.Attrs {
+		if s.Attrs[i].Kind == Numeric {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxCardinality returns the largest categorical domain size (the paper's
+// #MaxDC column in Table 1), or 0 when there are no categorical attributes.
+func (s *Schema) MaxCardinality() int {
+	m := 0
+	for i := range s.Attrs {
+		if c := s.Attrs[i].Cardinality(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Validate checks internal consistency: unique non-empty attribute names,
+// categorical attributes with at least one value, and at least two classes.
+func (s *Schema) Validate() error {
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("dataset: schema has no attributes")
+	}
+	if len(s.Classes) < 2 {
+		return fmt.Errorf("dataset: schema needs at least 2 classes, has %d", len(s.Classes))
+	}
+	seen := make(map[string]bool, len(s.Attrs))
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		if a.Name == "" {
+			return fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		seen[a.Name] = true
+		switch a.Kind {
+		case Categorical:
+			if len(a.Values) == 0 {
+				return fmt.Errorf("dataset: categorical attribute %q has no values", a.Name)
+			}
+		case Numeric:
+			if len(a.Values) != 0 {
+				return fmt.Errorf("dataset: numeric attribute %q has value labels", a.Name)
+			}
+		default:
+			return fmt.Errorf("dataset: attribute %q has unknown kind %d", a.Name, a.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,404 @@
+// Package anchor implements the Anchor explanation algorithm (Ribeiro,
+// Singh, Guestrin, AAAI 2018) for tabular data: a beam search over
+// predicate rules built from the tuple's (discretised) attribute values,
+// with rule precision estimated by a KL-LUCB multi-armed bandit over
+// rule-consistent perturbations, and coverage measured against a data
+// sample.
+//
+// The Shahin adaptations (paper §3.2) enter through two shared caches:
+// an invariant cache memoising each rule's precision trials and coverage
+// across the whole batch, and a perturbation repository whose samples
+// bootstrap the precision of superset rules without classifier calls.
+// Running with per-tuple fresh caches reproduces sequential Anchor.
+package anchor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"shahin/internal/cache"
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/mab"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+	"shahin/internal/sample"
+)
+
+// Config controls an Anchor explainer. Zero values select the noted
+// defaults, which follow the reference implementation (ε = 0.1, δ = 0.05,
+// precision threshold 0.95).
+type Config struct {
+	Precision     float64 // target precision τ (default 0.95)
+	Eps           float64 // bandit tolerance (default 0.1)
+	Delta         float64 // bandit failure probability (default 0.05)
+	BeamWidth     int     // candidates kept per rule size (default 2)
+	MaxPredicates int     // longest rule (default dataset.MaxItemsetLen)
+	BatchPulls    int     // perturbations per bandit pull (default 20)
+	MaxPulls      int     // per-selection pull budget (default 5000)
+	StorePerRule  int     // perturbations retained per rule for reuse (default 100, the paper's τ)
+}
+
+func (c Config) fill() Config {
+	if c.Precision <= 0 || c.Precision > 1 {
+		c.Precision = 0.95
+	}
+	if c.Eps <= 0 {
+		c.Eps = 0.1
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.05
+	}
+	if c.BeamWidth <= 0 {
+		c.BeamWidth = 1
+	}
+	if c.MaxPredicates <= 0 || c.MaxPredicates > dataset.MaxItemsetLen {
+		c.MaxPredicates = dataset.MaxItemsetLen
+	}
+	if c.BatchPulls <= 0 {
+		c.BatchPulls = 20
+	}
+	if c.MaxPulls <= 0 {
+		c.MaxPulls = 5000
+	}
+	if c.StorePerRule <= 0 {
+		c.StorePerRule = 100
+	}
+	return c
+}
+
+// Shared is the batch-level state Shahin threads through every
+// explanation: the rule-invariant cache and the labelled-perturbation
+// repository. Sequential Anchor uses a fresh Shared per tuple.
+type Shared struct {
+	Inv  *cache.Invariants
+	Repo *cache.Repo
+}
+
+// NewShared creates an empty shared state for a classifier with nClasses
+// classes and the given repository byte budget (<= 0 for unbounded).
+func NewShared(nClasses int, repoBudget int64) *Shared {
+	return &Shared{Inv: cache.NewInvariants(nClasses), Repo: cache.NewRepo(repoBudget)}
+}
+
+// Explainer runs Anchor against a fixed classifier and training
+// distribution. It is not safe for concurrent use.
+type Explainer struct {
+	cfg     Config
+	st      *dataset.Stats
+	cls     rf.Classifier
+	gen     *perturb.Generator
+	covRows []dataset.Itemset
+}
+
+// New builds an Anchor explainer. covRows is the itemised data sample
+// coverage is measured against (see CoverageRows); rng drives all
+// perturbation sampling.
+func New(st *dataset.Stats, cls rf.Classifier, covRows []dataset.Itemset, cfg Config, rng *rand.Rand) *Explainer {
+	return &Explainer{
+		cfg:     cfg.fill(),
+		st:      st,
+		cls:     cls,
+		gen:     perturb.NewGenerator(st, rng),
+		covRows: covRows,
+	}
+}
+
+// CoverageRows itemises up to maxRows uniformly sampled rows of d for use
+// as an Explainer's coverage sample.
+func CoverageRows(st *dataset.Stats, d *dataset.Dataset, maxRows int, rng *rand.Rand) []dataset.Itemset {
+	idx := sample.UniformIndices(rng, d.NumRows(), maxRows)
+	out := make([]dataset.Itemset, len(idx))
+	row := make([]float64, d.NumAttrs())
+	for i, ri := range idx {
+		row = d.Row(ri, row)
+		out[i] = append(dataset.Itemset(nil), st.ItemizeRow(row, nil)...)
+	}
+	return out
+}
+
+// Explain runs sequential Anchor (fresh caches) for tuple t.
+func (e *Explainer) Explain(t []float64) (*explain.Rule, error) {
+	return e.ExplainShared(t, NewShared(e.cls.NumClasses(), 0))
+}
+
+// ExplainShared explains t using (and updating) the given shared state.
+func (e *Explainer) ExplainShared(t []float64, sh *Shared) (*explain.Rule, error) {
+	p := e.st.Schema.NumAttrs()
+	if len(t) != p {
+		return nil, fmt.Errorf("anchor: tuple has %d attributes want %d", len(t), p)
+	}
+	if sh == nil {
+		sh = NewShared(e.cls.NumClasses(), 0)
+	}
+	target := e.cls.Predict(t)
+	tItems := e.st.ItemizeRow(t, nil)
+
+	beam := []dataset.Itemset{nil} // start from the empty rule
+	var fallback *explain.Rule     // best-precision rule if none verifies
+
+	for size := 1; size <= e.cfg.MaxPredicates; size++ {
+		cands := extendBeam(beam, tItems)
+		if len(cands) == 0 {
+			break
+		}
+		arms := make([]mab.Arm, len(cands))
+		prior := make([]mab.Counts, len(cands))
+		results := make([]*cache.RuleResult, len(cands))
+		for i, cand := range cands {
+			rr, known := sh.Inv.Lookup(cand.Key())
+			if !known {
+				e.bootstrap(cand, rr, sh.Repo)
+			}
+			results[i] = rr
+			arms[i] = &ruleArm{e: e, sh: sh, items: cand, rr: rr, target: target}
+			prior[i] = mab.Counts{Pulls: rr.Pulls, Successes: rr.ClassCounts[target]}
+		}
+
+		// Fast path (paper §3.2): a memoised rule whose cached trials
+		// already clear the precision threshold anchors every tuple that
+		// contains it — no bandit, no classifier calls.
+		var cached *explain.Rule
+		for i, cand := range cands {
+			rr := results[i]
+			if rr.Pulls < e.cfg.BatchPulls {
+				continue
+			}
+			lb := mab.LowerBound(rr.Precision(target), rr.Pulls, verifyBeta(1, e.cfg.Delta))
+			if lb > e.cfg.Precision-e.cfg.Eps {
+				cov := e.coverage(cand, rr)
+				if cached == nil || cov > cached.Coverage {
+					cached = &explain.Rule{
+						Items:     cand,
+						Class:     target,
+						Precision: rr.Precision(target),
+						Coverage:  cov,
+					}
+				}
+			}
+		}
+		if cached != nil {
+			return cached, nil
+		}
+		keep := e.cfg.BeamWidth
+		if keep > len(cands) {
+			keep = len(cands)
+		}
+		sel, _, err := mab.TopN(arms, keep, mab.Config{
+			Eps:      e.cfg.Eps,
+			Delta:    e.cfg.Delta,
+			Batch:    e.cfg.BatchPulls,
+			MaxPulls: e.cfg.MaxPulls,
+			Prior:    prior,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("anchor: beam selection: %w", err)
+		}
+
+		// Verify selected candidates against the precision threshold,
+		// preferring (at this smallest viable size) the best coverage.
+		var verified *explain.Rule
+		beam = beam[:0]
+		for _, ci := range sel {
+			cand, rr := cands[ci], results[ci]
+			beam = append(beam, cand)
+			if e.verify(cand, rr, target, sh) {
+				cov := e.coverage(cand, rr)
+				if verified == nil || cov > verified.Coverage {
+					verified = &explain.Rule{
+						Items:     cand,
+						Class:     target,
+						Precision: rr.Precision(target),
+						Coverage:  cov,
+					}
+				}
+			}
+			prec := rr.Precision(target)
+			if fallback == nil || prec > fallback.Precision {
+				fallback = &explain.Rule{
+					Items:     cand,
+					Class:     target,
+					Precision: prec,
+					Coverage:  e.coverage(cand, rr),
+				}
+			}
+		}
+		if verified != nil {
+			return verified, nil // smallest rule size wins (paper §3.2)
+		}
+	}
+	if fallback == nil {
+		return nil, fmt.Errorf("anchor: no candidate rules for tuple")
+	}
+	return fallback, nil
+}
+
+// extendBeam returns all distinct one-item extensions of the beam rules
+// with items of the tuple whose attribute the rule does not yet test.
+func extendBeam(beam []dataset.Itemset, tItems []dataset.Item) []dataset.Itemset {
+	seen := make(map[dataset.ItemsetKey]bool)
+	var out []dataset.Itemset
+	for _, rule := range beam {
+		used := make(map[int]bool, len(rule))
+		for _, it := range rule {
+			used[it.Attr()] = true
+		}
+		for _, it := range tItems {
+			if used[it.Attr()] {
+				continue
+			}
+			ext := insertItem(rule, it)
+			k := ext.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, ext)
+			}
+		}
+	}
+	return out
+}
+
+// insertItem returns rule ∪ {it} in canonical order.
+func insertItem(rule dataset.Itemset, it dataset.Item) dataset.Itemset {
+	out := make(dataset.Itemset, 0, len(rule)+1)
+	placed := false
+	for _, r := range rule {
+		if !placed && it < r {
+			out = append(out, it)
+			placed = true
+		}
+		out = append(out, r)
+	}
+	if !placed {
+		out = append(out, it)
+	}
+	return out
+}
+
+// bootstrap seeds a fresh rule's trials by scanning the repository entries
+// of its immediate sub-rules for samples that also satisfy the new rule —
+// the paper's "bootstrap the computation of precision for candidate rules
+// containing a superset of frequent itemsets". No classifier calls occur.
+func (e *Explainer) bootstrap(rule dataset.Itemset, rr *cache.RuleResult, repo *cache.Repo) {
+	if len(rule) < 1 {
+		return
+	}
+	hist := make([]int, e.cls.NumClasses())
+	sub := make(dataset.Itemset, 0, len(rule)-1)
+	any := false
+	for skip := range rule {
+		sub = sub[:0]
+		for i, it := range rule {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		samples, ok := repo.Get(sub.Key())
+		if !ok {
+			continue
+		}
+		for i := range samples {
+			if samples[i].Label >= 0 && perturb.MatchesBins(rule, samples[i].Items) {
+				hist[samples[i].Label]++
+				any = true
+			}
+		}
+	}
+	if any {
+		rr.AddTrials(hist)
+	}
+}
+
+// verify decides whether the rule's precision clears the threshold with
+// bandit confidence, pulling more rule-consistent perturbations as needed.
+// Acceptance follows the Anchor paper: LB > τ − ε accepts, UB < τ − ε
+// rejects.
+func (e *Explainer) verify(rule dataset.Itemset, rr *cache.RuleResult, target int, sh *Shared) bool {
+	arm := &ruleArm{e: e, sh: sh, items: rule, rr: rr, target: target}
+	tau := e.cfg.Precision
+	round := 1
+	for {
+		mean := rr.Precision(target)
+		lb := mab.LowerBound(mean, rr.Pulls, verifyBeta(round, e.cfg.Delta))
+		ub := mab.UpperBound(mean, rr.Pulls, verifyBeta(round, e.cfg.Delta))
+		if rr.Pulls > 0 && lb > tau-e.cfg.Eps {
+			return true
+		}
+		if rr.Pulls > 0 && ub < tau-e.cfg.Eps {
+			return false
+		}
+		if rr.Pulls >= e.cfg.MaxPulls {
+			return mean >= tau-e.cfg.Eps
+		}
+		arm.Pull(e.cfg.BatchPulls)
+		round++
+	}
+}
+
+// verifyBeta is the single-arm KL-LUCB exploration rate:
+// log(405.5 · t^1.1 / δ).
+func verifyBeta(round int, delta float64) float64 {
+	t := float64(round)
+	if t < 1 {
+		t = 1
+	}
+	return math.Log(405.5 * math.Pow(t, 1.1) / delta)
+}
+
+// coverage returns (computing and memoising on first use) the fraction of
+// the coverage sample satisfying the rule.
+func (e *Explainer) coverage(rule dataset.Itemset, rr *cache.RuleResult) float64 {
+	if rr.HasCoverage {
+		return rr.Coverage
+	}
+	if len(e.covRows) == 0 {
+		rr.HasCoverage = true
+		rr.Coverage = 0
+		return 0
+	}
+	hits := 0
+	for _, row := range e.covRows {
+		if rule.ContainsAll(row) {
+			hits++
+		}
+	}
+	rr.Coverage = float64(hits) / float64(len(e.covRows))
+	rr.HasCoverage = true
+	return rr.Coverage
+}
+
+// ruleArm adapts a candidate rule to the bandit Arm interface: each pull
+// generates rule-consistent perturbations, labels them with the
+// classifier, stores up to StorePerRule of them in the repository for
+// later bootstrap/reuse, and folds the trials into the shared invariant
+// cache.
+type ruleArm struct {
+	e      *Explainer
+	sh     *Shared
+	items  dataset.Itemset
+	rr     *cache.RuleResult
+	target int
+}
+
+// Pull implements mab.Arm.
+func (a *ruleArm) Pull(n int) int {
+	hist := make([]int, a.e.cls.NumClasses())
+	var store []perturb.Sample
+	stored, _ := a.sh.Repo.Get(a.items.Key())
+	room := a.e.cfg.StorePerRule - len(stored)
+	for i := 0; i < n; i++ {
+		s := a.e.gen.ForItemset(a.items)
+		s.Label = a.e.cls.Predict(s.Row)
+		hist[s.Label]++
+		if room > 0 {
+			store = append(store, s)
+			room--
+		}
+	}
+	a.rr.AddTrials(hist)
+	if len(store) > 0 {
+		a.sh.Repo.Append(a.items.Key(), store)
+	}
+	return hist[a.target]
+}

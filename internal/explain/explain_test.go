@@ -1,0 +1,87 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"shahin/internal/dataset"
+)
+
+func TestAttributionRanking(t *testing.T) {
+	a := &Attribution{Weights: []float64{0.1, -0.9, 0.5, 0}}
+	r := a.Ranking()
+	want := []int{1, 2, 0, 3} // by |weight| descending
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranking=%v want %v", r, want)
+		}
+	}
+}
+
+func TestAttributionRankingStableOnTies(t *testing.T) {
+	a := &Attribution{Weights: []float64{0.5, -0.5, 0.5}}
+	r := a.Ranking()
+	if r[0] != 0 || r[1] != 1 || r[2] != 2 {
+		t.Fatalf("tie ordering not stable: %v", r)
+	}
+}
+
+func TestAttributionTopK(t *testing.T) {
+	a := &Attribution{Weights: []float64{3, 1, 2}}
+	if got := a.TopK(2); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("TopK(2)=%v", got)
+	}
+	if got := a.TopK(99); len(got) != 3 {
+		t.Fatalf("TopK clamping failed: %v", got)
+	}
+	if got := a.TopK(0); len(got) != 0 {
+		t.Fatalf("TopK(0)=%v", got)
+	}
+}
+
+func testSchema() *dataset.Schema {
+	return &dataset.Schema{
+		Attrs: []dataset.Attr{
+			{Name: "color", Kind: dataset.Categorical, Values: []string{"red", "green"}},
+			{Name: "size", Kind: dataset.Numeric},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+}
+
+func TestRuleDescribe(t *testing.T) {
+	r := &Rule{
+		Items:     dataset.Itemset{dataset.MakeItem(0, 1), dataset.MakeItem(1, 2)},
+		Class:     1,
+		Precision: 0.97,
+		Coverage:  0.25,
+	}
+	s := r.Describe(testSchema())
+	for _, want := range []string{"color=green", "size∈bin2", "class=pos", "0.97", "0.25", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Describe=%q missing %q", s, want)
+		}
+	}
+}
+
+func TestRuleDescribeEmpty(t *testing.T) {
+	r := &Rule{Class: 0}
+	s := r.Describe(testSchema())
+	if !strings.Contains(s, "anything") || !strings.Contains(s, "class=neg") {
+		t.Fatalf("empty rule: %q", s)
+	}
+}
+
+func TestAttributionDescribe(t *testing.T) {
+	a := &Attribution{Weights: []float64{0.32, -0.21}, Class: 1}
+	got := a.Describe(testSchema(), []float64{1, 12.5}, 2)
+	for _, want := range []string{"class=pos", "color=green", "+0.320", "size=12.5", "-0.210"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Describe=%q missing %q", got, want)
+		}
+	}
+	// k larger than dimension clamps without panicking.
+	if s := a.Describe(testSchema(), []float64{0, 1}, 10); s == "" {
+		t.Fatal("empty description")
+	}
+}

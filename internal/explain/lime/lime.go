@@ -1,0 +1,212 @@
+// Package lime implements tabular LIME (Ribeiro, Singh, Guestrin, KDD
+// 2016): perturb the tuple by sampling each attribute independently from
+// the training distribution, label the perturbations with the black-box
+// classifier, weight them by an exponential proximity kernel over the
+// binary "same bin as the instance" encoding, and fit a weighted ridge
+// surrogate whose coefficients are the explanation.
+//
+// The optional explain.Pool hook is Shahin's entry point (Algorithm 1 of
+// the paper): pooled perturbations frozen on frequent itemsets the tuple
+// contains are consumed first, and only the remainder of the sample budget
+// is generated (and labelled) fresh.
+package lime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/linmodel"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+)
+
+// Config controls a LIME explainer. Zero values select the defaults noted
+// per field.
+type Config struct {
+	// NumSamples is the perturbation budget N per explanation
+	// (default 1000, LIME's num_samples=5000 scaled to tabular practice).
+	NumSamples int
+	// KernelWidth is the proximity kernel width; default 0.75·sqrt(p),
+	// LIME's tabular default.
+	KernelWidth float64
+	// Lambda is the ridge penalty of the surrogate (default 1.0, matching
+	// sklearn Ridge(alpha=1)).
+	Lambda float64
+	// MaxReuse caps the fraction of the budget served from the pool
+	// (default 0.9). Keeping a fresh remainder preserves sample diversity
+	// for the surrogate fit.
+	MaxReuse float64
+	// TopFeatures restricts the surrogate to the K most important
+	// attributes (LIME's num_features): after an initial fit, the
+	// smallest-|weight| attributes are dropped and the model refit, so
+	// their reported weights become exactly zero. 0 (default) keeps all
+	// attributes.
+	TopFeatures int
+}
+
+func (c Config) fill(p int) Config {
+	if c.NumSamples <= 0 {
+		c.NumSamples = 1000
+	}
+	if c.KernelWidth <= 0 {
+		c.KernelWidth = 0.75 * math.Sqrt(float64(p))
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1
+	}
+	if c.MaxReuse <= 0 || c.MaxReuse > 1 {
+		c.MaxReuse = 0.9
+	}
+	return c
+}
+
+// Explainer produces LIME attributions against a fixed classifier and
+// training distribution. It is not safe for concurrent use.
+type Explainer struct {
+	cfg Config
+	st  *dataset.Stats
+	cls rf.Classifier
+	gen *perturb.Generator
+}
+
+// New builds a LIME explainer. rng drives all perturbation sampling.
+func New(st *dataset.Stats, cls rf.Classifier, cfg Config, rng *rand.Rand) *Explainer {
+	return &Explainer{
+		cfg: cfg.fill(st.Schema.NumAttrs()),
+		st:  st,
+		cls: cls,
+		gen: perturb.NewGenerator(st, rng),
+	}
+}
+
+// Explain generates the LIME attribution for tuple t with no reuse
+// (the sequential baseline).
+func (e *Explainer) Explain(t []float64) (*explain.Attribution, error) {
+	return e.ExplainWithPool(t, nil)
+}
+
+// ExplainWithPool generates the LIME attribution for t, serving as much of
+// the perturbation budget as possible from the pool (Algorithm 1, lines
+// 6–8) before generating and labelling fresh samples.
+func (e *Explainer) ExplainWithPool(t []float64, pool explain.Pool) (*explain.Attribution, error) {
+	p := e.st.Schema.NumAttrs()
+	if len(t) != p {
+		return nil, fmt.Errorf("lime: tuple has %d attributes want %d", len(t), p)
+	}
+	target := e.cls.Predict(t)
+	tItems := e.st.ItemizeRow(t, nil)
+
+	n := e.cfg.NumSamples
+	X := make([][]float64, 0, n+1)
+	y := make([]float64, 0, n+1)
+	w := make([]float64, 0, n+1)
+
+	addSample := func(items []dataset.Item, label int) {
+		z := perturb.BinaryEncode(tItems, items, nil)
+		X = append(X, z)
+		if label == target {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+		w = append(w, e.kernel(z))
+	}
+
+	// The instance itself anchors the local fit (z = all ones), as in the
+	// reference implementation.
+	addSample(tItems, target)
+
+	// Reused, already-labelled perturbations first.
+	if pool != nil {
+		maxReuse := int(e.cfg.MaxReuse * float64(n))
+		for _, s := range pool.ForTuple(tItems, maxReuse) {
+			addSample(s.Items, s.Label)
+		}
+	}
+
+	// Fresh perturbations for the remaining budget: classic LIME sampling
+	// (every attribute drawn independently from the training marginal).
+	obs, _ := pool.(explain.Observer)
+	noFreeze := make([]bool, p)
+	for len(X) < n+1 {
+		s := e.gen.ForTuple(t, noFreeze)
+		s.Label = e.cls.Predict(s.Row)
+		addSample(s.Items, s.Label)
+		if obs != nil {
+			obs.Observe(s)
+		}
+	}
+
+	m, err := linmodel.Ridge(X, y, w, e.cfg.Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("lime: surrogate fit: %w", err)
+	}
+	weights, intercept := m.Coef, m.Intercept
+	if k := e.cfg.TopFeatures; k > 0 && k < p {
+		weights, intercept, err = e.refitTop(X, y, w, m.Coef, k)
+		if err != nil {
+			return nil, fmt.Errorf("lime: top-%d refit: %w", k, err)
+		}
+	}
+	return &explain.Attribution{Weights: weights, Intercept: intercept, Class: target}, nil
+}
+
+// refitTop implements LIME's "highest weights" feature selection: keep
+// the k largest-|weight| attributes of the pilot fit, refit the
+// surrogate on just those columns, and report zeros elsewhere.
+func (e *Explainer) refitTop(X [][]float64, y, w, pilot []float64, k int) ([]float64, float64, error) {
+	keep := topKByAbs(pilot, k)
+	Xk := make([][]float64, len(X))
+	for i, row := range X {
+		sub := make([]float64, k)
+		for j, a := range keep {
+			sub[j] = row[a]
+		}
+		Xk[i] = sub
+	}
+	m, err := linmodel.Ridge(Xk, y, w, e.cfg.Lambda)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]float64, len(pilot))
+	for j, a := range keep {
+		out[a] = m.Coef[j]
+	}
+	return out, m.Intercept, nil
+}
+
+// topKByAbs returns the indices of the k largest-|v| entries.
+func topKByAbs(v []float64, k int) []int {
+	used := make([]bool, len(v))
+	out := make([]int, 0, k)
+	for len(out) < k {
+		best, bestAbs := -1, -1.0
+		for i, x := range v {
+			if used[i] {
+				continue
+			}
+			if a := math.Abs(x); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// kernel is LIME's exponential proximity kernel over binary encodings:
+// exp(-d² / width²), where d² is the number of attributes whose bin
+// differs from the instance.
+func (e *Explainer) kernel(z []float64) float64 {
+	d2 := 0.0
+	for _, v := range z {
+		if v == 0 {
+			d2++
+		}
+	}
+	return math.Exp(-d2 / (e.cfg.KernelWidth * e.cfg.KernelWidth))
+}

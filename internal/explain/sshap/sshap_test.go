@@ -1,0 +1,212 @@
+package sshap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"shahin/internal/datagen"
+	"shahin/internal/dataset"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+)
+
+func env(t *testing.T, seed int64) *dataset.Stats {
+	t.Helper()
+	cfg := &datagen.Config{
+		Name: "sst",
+		Cat:  []datagen.CatSpec{{Card: 4, Skew: 1}, {Card: 3, Skew: 0.5}, {Card: 5, Skew: 1.2}},
+		Num:  []datagen.NumSpec{{Mean: 0, Std: 1}},
+	}
+	d, err := cfg.Generate(3000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dataset.Compute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func attr0Classifier(v int) rf.Classifier {
+	return rf.Func{Classes: 2, F: func(x []float64) int {
+		if int(x[0]) == v {
+			return 1
+		}
+		return 0
+	}}
+}
+
+func TestExplainWrongArity(t *testing.T) {
+	st := env(t, 1)
+	e := New(st, attr0Classifier(0), Config{Permutations: 5, BaseSamples: 10}, rand.New(rand.NewSource(2)))
+	if _, err := e.Explain([]float64{1}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+// Efficiency: phi0 + sum(phi) telescopes to exactly 1 by construction.
+func TestAdditivityExact(t *testing.T) {
+	st := env(t, 3)
+	e := New(st, attr0Classifier(1), Config{Permutations: 7, BaseSamples: 30}, rand.New(rand.NewSource(4)))
+	att, err := e.Explain([]float64{1, 0, 2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := att.Intercept
+	for _, w := range att.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("phi0 + sum(phi) = %g want 1 (telescoping)", sum)
+	}
+}
+
+func TestDecisiveFeatureDominates(t *testing.T) {
+	st := env(t, 5)
+	e := New(st, attr0Classifier(2), Config{Permutations: 60, BaseSamples: 200}, rand.New(rand.NewSource(6)))
+	att, err := e.Explain([]float64{2, 1, 3, -0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := att.Ranking()[0]; top != 0 {
+		t.Fatalf("top feature=%d want 0 (phi=%v)", top, att.Weights)
+	}
+	// For a single decisive feature phi[0] should approach 1 - baseRate.
+	want := 1 - att.Intercept
+	if math.Abs(att.Weights[0]-want) > 0.15 {
+		t.Fatalf("phi[0]=%g want ~%g", att.Weights[0], want)
+	}
+	// The irrelevant features must be near zero.
+	for a := 1; a < 4; a++ {
+		if math.Abs(att.Weights[a]) > 0.15 {
+			t.Fatalf("irrelevant phi[%d]=%g", a, att.Weights[a])
+		}
+	}
+}
+
+func TestBaseRateCached(t *testing.T) {
+	st := env(t, 7)
+	counting := rf.NewCounting(attr0Classifier(1))
+	e := New(st, counting, Config{Permutations: 5, BaseSamples: 40}, rand.New(rand.NewSource(8)))
+	tup := []float64{1, 0, 2, 0.5}
+	if _, err := e.Explain(tup); err != nil {
+		t.Fatal(err)
+	}
+	first := counting.Invocations()
+	if _, err := e.Explain(tup); err != nil {
+		t.Fatal(err)
+	}
+	second := counting.Invocations() - first
+	if second > first-30 {
+		t.Fatalf("base rate not cached: first=%d second=%d", first, second)
+	}
+	if e.BaseInvocations() != 40 {
+		t.Fatalf("BaseInvocations=%d", e.BaseInvocations())
+	}
+}
+
+// Endpoint shortcut: the chain's last step must cost no classifier call
+// (v(full) = 1 is known). With m attributes and K permutations the walk
+// costs K·(m-1) calls plus the tuple's own prediction and base rate.
+func TestInvocationBudget(t *testing.T) {
+	st := env(t, 9)
+	counting := rf.NewCounting(attr0Classifier(1))
+	const K, m = 10, 4
+	e := New(st, counting, Config{Permutations: K, BaseSamples: 20}, rand.New(rand.NewSource(10)))
+	if _, err := e.Explain([]float64{1, 0, 2, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(20 + 1 + K*(m-1))
+	if got := counting.Invocations(); got != want {
+		t.Fatalf("invocations=%d want %d", got, want)
+	}
+}
+
+// prefixPool serves pooled labels for small required itemsets.
+type prefixPool struct {
+	samples map[dataset.ItemsetKey][]perturb.Sample
+	serves  int
+}
+
+func (p *prefixPool) ForTuple([]dataset.Item, int) []perturb.Sample { return nil }
+
+func (p *prefixPool) ForItemset(required dataset.Itemset, max int) []perturb.Sample {
+	if got, ok := p.samples[required.Key()]; ok && len(got) > 0 {
+		p.serves++
+		return got[:1]
+	}
+	return nil
+}
+
+func TestPoolReducesInvocations(t *testing.T) {
+	st := env(t, 11)
+	cls := attr0Classifier(2)
+	tup := []float64{2, 1, 0, 0.0}
+	tItems := st.ItemizeRow(tup, nil)
+
+	// Stock labels for every single- and double-item prefix of the tuple.
+	gen := perturb.NewGenerator(st, rand.New(rand.NewSource(12)))
+	pool := &prefixPool{samples: map[dataset.ItemsetKey][]perturb.Sample{}}
+	for i := 0; i < len(tItems); i++ {
+		one := dataset.Itemset{tItems[i]}
+		s := gen.ForItemset(one)
+		s.Label = cls.Predict(s.Row)
+		pool.samples[one.Key()] = []perturb.Sample{s}
+		for j := i + 1; j < len(tItems); j++ {
+			two := dataset.Itemset{tItems[i], tItems[j]}
+			s2 := gen.ForItemset(two)
+			s2.Label = cls.Predict(s2.Row)
+			pool.samples[two.Key()] = []perturb.Sample{s2}
+		}
+	}
+
+	counting := rf.NewCounting(cls)
+	e := New(st, counting, Config{Permutations: 20, BaseSamples: 20}, rand.New(rand.NewSource(13)))
+	att, err := e.ExplainWithPool(tup, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.serves == 0 {
+		t.Fatal("pool never served")
+	}
+	// Without the pool: 20 + 1 + 20*3 = 81. With prefixes 1 and 2 served:
+	// only the size-3 step costs a call -> 20 + 1 + 20*1 = 41.
+	if got := counting.Invocations(); got > 45 {
+		t.Fatalf("invocations=%d, pool saved too little", got)
+	}
+	if top := att.Ranking()[0]; top != 0 {
+		t.Fatalf("top feature with pool=%d", top)
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	var is dataset.Itemset
+	for _, a := range []int{3, 0, 2, 1} {
+		is = insertSorted(is, dataset.MakeItem(a, 0))
+	}
+	for i := 0; i < 4; i++ {
+		if is[i].Attr() != i {
+			t.Fatalf("not sorted: %v", is)
+		}
+	}
+}
+
+func TestExplainDeterministic(t *testing.T) {
+	st := env(t, 14)
+	tup := []float64{1, 0, 2, 0.3}
+	a, err := New(st, attr0Classifier(1), Config{Permutations: 10, BaseSamples: 20}, rand.New(rand.NewSource(15))).Explain(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(st, attr0Classifier(1), Config{Permutations: 10, BaseSamples: 20}, rand.New(rand.NewSource(15))).Explain(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatal("same-seed explanations differ")
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package fim
+
+import "math/rand"
+
+// newRand builds a deterministic RNG for fuzz inputs.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

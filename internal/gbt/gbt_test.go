@@ -1,0 +1,180 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"shahin/internal/datagen"
+	"shahin/internal/dataset"
+)
+
+func xorData(n int, seed int64) *dataset.Dataset {
+	s := &dataset.Schema{
+		Attrs: []dataset.Attr{
+			{Name: "x0", Kind: dataset.Numeric},
+			{Name: "x1", Kind: dataset.Numeric},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(s, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.NormFloat64(), rng.NormFloat64()
+		label := 0
+		if (x0 > 0) != (x1 > 0) {
+			label = 1
+		}
+		d.AppendRow([]float64{x0, x1}, label)
+	}
+	return d
+}
+
+func TestTrainErrors(t *testing.T) {
+	d := xorData(50, 1)
+	d.Labels = nil
+	if _, err := Train(d, Config{}); err == nil {
+		t.Fatal("unlabelled data accepted")
+	}
+	multi := &dataset.Schema{
+		Attrs:   []dataset.Attr{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"a", "b", "c"},
+	}
+	md := dataset.New(multi, 2)
+	md.AppendRow([]float64{1}, 0)
+	md.AppendRow([]float64{2}, 2)
+	if _, err := Train(md, Config{}); err == nil {
+		t.Fatal("3-class data accepted")
+	}
+	empty := dataset.New(xorData(1, 1).Schema, 0)
+	empty.Labels = []int{}
+	if _, err := Train(empty, Config{}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	train := xorData(3000, 2)
+	test := xorData(800, 3)
+	m, err := Train(train, Config{Rounds: 80, MaxDepth: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.9 {
+		t.Fatalf("XOR accuracy %.3f < 0.9", acc)
+	}
+	if m.NumClasses() != 2 {
+		t.Fatalf("NumClasses=%d", m.NumClasses())
+	}
+}
+
+func TestProbAndScoreConsistent(t *testing.T) {
+	m, err := Train(xorData(800, 5), Config{Rounds: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		p := m.Prob(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("Prob=%g", p)
+		}
+		want := 0
+		if p > 0.5 {
+			want = 1
+		}
+		if m.Predict(x) != want {
+			t.Fatal("Predict inconsistent with Prob")
+		}
+	}
+}
+
+func TestBoostingImprovesWithRounds(t *testing.T) {
+	train := xorData(2000, 8)
+	test := xorData(500, 9)
+	weak, err := Train(train, Config{Rounds: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Train(train, Config{Rounds: 80, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.Accuracy(test) <= weak.Accuracy(test) {
+		t.Fatalf("80 rounds (%.3f) not better than 2 rounds (%.3f)",
+			strong.Accuracy(test), weak.Accuracy(test))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	train := xorData(500, 11)
+	a, err := Train(train, Config{Rounds: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, Config{Rounds: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if math.Abs(a.Score(x)-b.Score(x)) > 1e-12 {
+			t.Fatal("same-seed models diverge")
+		}
+	}
+}
+
+func TestSingleClassData(t *testing.T) {
+	s := &dataset.Schema{
+		Attrs:   []dataset.Attr{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"neg", "pos"},
+	}
+	d := dataset.New(s, 10)
+	for i := 0; i < 10; i++ {
+		d.AppendRow([]float64{float64(i)}, 1)
+	}
+	m, err := Train(d, Config{Rounds: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{3}); got != 1 {
+		t.Fatalf("single-class model predicted %d", got)
+	}
+	if math.IsInf(m.Bias, 0) || math.IsNaN(m.Bias) {
+		t.Fatalf("bias %g not finite", m.Bias)
+	}
+}
+
+func TestOnSyntheticDataset(t *testing.T) {
+	cfg, err := datagen.Spec("covertype")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cfg.Generate(3000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	train, test := data.Split(1.0/3, rng)
+	m, err := Train(train, Config{Rounds: 60, MaxDepth: 4, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.75 {
+		t.Fatalf("accuracy %.3f < 0.75", acc)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	m, err := Train(xorData(2000, 17), Config{Rounds: 50, Seed: 18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.3, -0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

@@ -1,0 +1,235 @@
+// Package linmodel implements the small dense linear algebra the
+// explainers need: weighted ridge regression via normal equations and a
+// Cholesky solver for symmetric positive-definite systems. LIME fits its
+// interpretable surrogate with Ridge; KernelSHAP solves a constrained
+// weighted least squares built on Solve.
+package linmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear model y ≈ Intercept + x·Coef.
+type Model struct {
+	Coef      []float64
+	Intercept float64
+}
+
+// Predict evaluates the model at x.
+func (m *Model) Predict(x []float64) float64 {
+	y := m.Intercept
+	for i, c := range m.Coef {
+		y += c * x[i]
+	}
+	return y
+}
+
+// Ridge fits weighted ridge regression:
+//
+//	min_β,b  Σ_i w_i (y_i - b - x_i·β)²  +  λ ‖β‖²
+//
+// The intercept is not penalised. X is row-major with one sample per row;
+// w may be nil for unit weights. λ must be non-negative; λ = 0 degrades to
+// ordinary weighted least squares (with a tiny jitter retry if the normal
+// matrix is singular).
+func Ridge(X [][]float64, y, w []float64, lambda float64) (*Model, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("linmodel: Ridge with no samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("linmodel: %d targets for %d samples", len(y), n)
+	}
+	if w != nil && len(w) != n {
+		return nil, fmt.Errorf("linmodel: %d weights for %d samples", len(w), n)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linmodel: negative lambda %g", lambda)
+	}
+	p := len(X[0])
+	if p == 0 {
+		return nil, fmt.Errorf("linmodel: samples have no features")
+	}
+	for i := range X {
+		if len(X[i]) != p {
+			return nil, fmt.Errorf("linmodel: row %d has %d features want %d", i, len(X[i]), p)
+		}
+	}
+
+	// Weighted means; centering absorbs the (unpenalised) intercept.
+	totalW := 0.0
+	for i := 0; i < n; i++ {
+		totalW += weight(w, i)
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("linmodel: weights sum to %g", totalW)
+	}
+	xbar := make([]float64, p)
+	ybar := 0.0
+	for i := 0; i < n; i++ {
+		wi := weight(w, i)
+		for j := 0; j < p; j++ {
+			xbar[j] += wi * X[i][j]
+		}
+		ybar += wi * y[i]
+	}
+	for j := range xbar {
+		xbar[j] /= totalW
+	}
+	ybar /= totalW
+
+	// Normal equations on centred data: (XᵀWX + λI) β = XᵀWy.
+	A := NewSym(p)
+	b := make([]float64, p)
+	xc := make([]float64, p)
+	for i := 0; i < n; i++ {
+		wi := weight(w, i)
+		for j := 0; j < p; j++ {
+			xc[j] = X[i][j] - xbar[j]
+		}
+		yc := y[i] - ybar
+		for j := 0; j < p; j++ {
+			wx := wi * xc[j]
+			b[j] += wx * yc
+			row := A.row(j)
+			for k := 0; k <= j; k++ {
+				row[k] += wx * xc[k]
+			}
+		}
+	}
+	for j := 0; j < p; j++ {
+		A.Add(j, j, lambda)
+	}
+
+	coef, err := A.Solve(b)
+	if err != nil {
+		// Singular normal matrix (collinear or constant features): retry
+		// with a small diagonal jitter scaled to the matrix.
+		jitter := 1e-10 * (1 + A.MaxDiag())
+		for j := 0; j < p; j++ {
+			A.Add(j, j, jitter)
+		}
+		coef, err = A.Solve(b)
+		if err != nil {
+			return nil, fmt.Errorf("linmodel: normal equations singular: %w", err)
+		}
+	}
+	intercept := ybar
+	for j := 0; j < p; j++ {
+		intercept -= coef[j] * xbar[j]
+	}
+	return &Model{Coef: coef, Intercept: intercept}, nil
+}
+
+func weight(w []float64, i int) float64 {
+	if w == nil {
+		return 1
+	}
+	return w[i]
+}
+
+// Sym is a symmetric matrix stored as the packed lower triangle.
+type Sym struct {
+	n    int
+	data []float64 // row-major packed lower triangle
+}
+
+// NewSym returns an n×n zero symmetric matrix.
+func NewSym(n int) *Sym {
+	return &Sym{n: n, data: make([]float64, n*(n+1)/2)}
+}
+
+// N returns the dimension.
+func (s *Sym) N() int { return s.n }
+
+// row returns the packed storage of row i (columns 0..i).
+func (s *Sym) row(i int) []float64 {
+	start := i * (i + 1) / 2
+	return s.data[start : start+i+1]
+}
+
+// At returns element (i, j).
+func (s *Sym) At(i, j int) float64 {
+	if j > i {
+		i, j = j, i
+	}
+	return s.data[i*(i+1)/2+j]
+}
+
+// Set sets element (i, j) (and its mirror).
+func (s *Sym) Set(i, j int, v float64) {
+	if j > i {
+		i, j = j, i
+	}
+	s.data[i*(i+1)/2+j] = v
+}
+
+// Add adds v to element (i, j) (and its mirror).
+func (s *Sym) Add(i, j int, v float64) {
+	if j > i {
+		i, j = j, i
+	}
+	s.data[i*(i+1)/2+j] += v
+}
+
+// MaxDiag returns the largest diagonal entry (0 for an empty matrix).
+func (s *Sym) MaxDiag() float64 {
+	m := 0.0
+	for i := 0; i < s.n; i++ {
+		if d := s.At(i, i); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Solve solves A x = b for symmetric positive-definite A via Cholesky
+// factorisation. A is not modified. It returns an error if the matrix is
+// not (numerically) positive definite.
+func (s *Sym) Solve(b []float64) ([]float64, error) {
+	if len(b) != s.n {
+		return nil, fmt.Errorf("linmodel: Solve rhs has %d entries want %d", len(b), s.n)
+	}
+	n := s.n
+	// L is the packed lower-triangular Cholesky factor.
+	L := make([]float64, len(s.data))
+	copy(L, s.data)
+	at := func(i, j int) float64 { return L[i*(i+1)/2+j] }
+	set := func(i, j int, v float64) { L[i*(i+1)/2+j] = v }
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := at(i, j)
+			for k := 0; k < j; k++ {
+				sum -= at(i, k) * at(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, fmt.Errorf("linmodel: matrix not positive definite at pivot %d (%g)", i, sum)
+				}
+				set(i, j, math.Sqrt(sum))
+			} else {
+				set(i, j, sum/at(j, j))
+			}
+		}
+	}
+	// Forward substitution L z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= at(i, k) * z[k]
+		}
+		z[i] = sum / at(i, i)
+	}
+	// Back substitution Lᵀ x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= at(k, i) * x[k]
+		}
+		x[i] = sum / at(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,255 @@
+// Package mab implements the KL-LUCB multi-armed-bandit procedure Anchor
+// uses to estimate rule precisions with as few classifier invocations as
+// possible (Kaufmann & Kalyanakrishnan, "Information complexity in bandit
+// subset selection", COLT 2013 — the algorithm the Anchor paper adopts).
+//
+// Arms are Bernoulli: pulling an arm draws perturbations consistent with a
+// candidate rule, invokes the classifier, and counts how many predictions
+// match the target class. The package provides the two primitives Anchor
+// needs: selecting the top-n arms by mean with (ε, δ) guarantees, and
+// deciding whether a single arm's mean clears a threshold.
+package mab
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arm is a Bernoulli arm. Pull performs n trials and returns the number of
+// successes. Implementations are expected to be stateless between calls
+// (successes are accumulated by this package).
+type Arm interface {
+	Pull(n int) int
+}
+
+// Counts tracks the empirical state of one arm.
+type Counts struct {
+	Pulls     int
+	Successes int
+}
+
+// Mean returns the empirical success rate (0 when never pulled).
+func (c Counts) Mean() float64 {
+	if c.Pulls == 0 {
+		return 0
+	}
+	return float64(c.Successes) / float64(c.Pulls)
+}
+
+// klBernoulli returns KL(p‖q) for Bernoulli distributions, handling the
+// boundary cases exactly.
+func klBernoulli(p, q float64) float64 {
+	const eps = 1e-15
+	p = math.Min(math.Max(p, eps), 1-eps)
+	q = math.Min(math.Max(q, eps), 1-eps)
+	return p*math.Log(p/q) + (1-p)*math.Log((1-p)/(1-q))
+}
+
+// UpperBound returns the KL upper confidence bound: the largest q >= mean
+// with n·KL(mean‖q) <= beta, found by bisection.
+func UpperBound(mean float64, n int, beta float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	lo, hi := mean, 1.0
+	level := beta / float64(n)
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if klBernoulli(mean, mid) > level {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// LowerBound returns the KL lower confidence bound: the smallest q <= mean
+// with n·KL(mean‖q) <= beta.
+func LowerBound(mean float64, n int, beta float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	lo, hi := 0.0, mean
+	level := beta / float64(n)
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if klBernoulli(mean, mid) > level {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// beta is the exploration rate from the KL-LUCB paper (theorem 1 with
+// k1 = 405.5, alpha = 1.1), as used in the Anchor reference code.
+func beta(nArms, round int, delta float64) float64 {
+	alpha := 1.1
+	k1 := 405.5
+	t := float64(round)
+	if t < 1 {
+		t = 1
+	}
+	return math.Log(k1 * float64(nArms) * math.Pow(t, alpha) / delta)
+}
+
+// Config bounds a bandit run.
+type Config struct {
+	Eps       float64 // required gap tolerance between selected and rejected arms
+	Delta     float64 // failure probability
+	Batch     int     // pulls per round per queried arm (amortises Pull overhead)
+	InitPulls int     // pulls given to every arm up front
+	MaxPulls  int     // hard budget across all arms; 0 means a generous default
+
+	// Prior seeds per-arm counts accumulated elsewhere (e.g. Shahin's
+	// shared precision cache); arms whose prior already has InitPulls
+	// samples skip the initial pull round. Must be nil or len(arms).
+	Prior []Counts
+}
+
+func (c *Config) fill() Config {
+	out := *c
+	if out.Eps <= 0 {
+		out.Eps = 0.1
+	}
+	if out.Delta <= 0 {
+		out.Delta = 0.05
+	}
+	if out.Batch <= 0 {
+		out.Batch = 10
+	}
+	if out.InitPulls <= 0 {
+		out.InitPulls = out.Batch
+	}
+	if out.MaxPulls <= 0 {
+		out.MaxPulls = 100000
+	}
+	return out
+}
+
+// TopN runs KL-LUCB to identify the n arms with the highest means, up to
+// tolerance eps with confidence 1-delta. It returns the selected arm
+// indices (ordered by descending empirical mean) and the per-arm counts
+// accumulated during the run. If n >= len(arms), all arms are returned
+// after the initial pulls.
+func TopN(arms []Arm, n int, cfg Config) ([]int, []Counts, error) {
+	if len(arms) == 0 {
+		return nil, nil, fmt.Errorf("mab: TopN with no arms")
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("mab: TopN n=%d must be positive", n)
+	}
+	c := cfg.fill()
+	if c.Prior != nil && len(c.Prior) != len(arms) {
+		return nil, nil, fmt.Errorf("mab: %d priors for %d arms", len(c.Prior), len(arms))
+	}
+	counts := make([]Counts, len(arms))
+	if c.Prior != nil {
+		copy(counts, c.Prior)
+	}
+	totalPulls := 0
+	pull := func(i, k int) {
+		counts[i].Successes += arms[i].Pull(k)
+		counts[i].Pulls += k
+		totalPulls += k
+	}
+	for i := range arms {
+		if need := c.InitPulls - counts[i].Pulls; need > 0 {
+			pull(i, need)
+		}
+	}
+	if n >= len(arms) {
+		return rankByMean(counts, len(arms)), counts, nil
+	}
+
+	round := 1
+	for totalPulls < c.MaxPulls {
+		b := beta(len(arms), round, c.Delta)
+		// Partition arms into the current top-n (J) and the rest; find the
+		// weakest member of J (lowest LB) and the strongest outsider
+		// (highest UB).
+		order := rankByMean(counts, len(counts))
+		worstIn, bestOut := -1, -1
+		var worstLB, bestUB float64
+		for rank, i := range order {
+			mean := counts[i].Mean()
+			if rank < n {
+				lb := LowerBound(mean, counts[i].Pulls, b)
+				if worstIn == -1 || lb < worstLB {
+					worstIn, worstLB = i, lb
+				}
+			} else {
+				ub := UpperBound(mean, counts[i].Pulls, b)
+				if bestOut == -1 || ub > bestUB {
+					bestOut, bestUB = i, ub
+				}
+			}
+		}
+		if bestUB-worstLB <= c.Eps {
+			return order[:n], counts, nil
+		}
+		pull(worstIn, c.Batch)
+		pull(bestOut, c.Batch)
+		round++
+	}
+	// Budget exhausted: return the current empirical best. This mirrors
+	// the anytime behaviour of the reference implementation.
+	return rankByMean(counts, len(counts))[:n], counts, nil
+}
+
+// rankByMean returns arm indices ordered by descending empirical mean
+// (stable by index for ties). Only the full ordering of the first k is
+// guaranteed meaningful to callers.
+func rankByMean(counts []Counts, k int) []int {
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: arm lists are small (beam width × candidates).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if counts[b].Mean() > counts[a].Mean() {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return order[:k]
+}
+
+// AboveThreshold decides whether an arm's true mean exceeds tau, pulling
+// until the (1-delta) confidence interval clears tau on one side or the
+// interval is narrower than eps. It returns the decision, the final
+// counts, and whether the decision is confident (false when the budget ran
+// out with tau inside the interval).
+func AboveThreshold(arm Arm, tau float64, cfg Config) (above, confident bool, counts Counts) {
+	c := cfg.fill()
+	pull := func(k int) {
+		counts.Successes += arm.Pull(k)
+		counts.Pulls += k
+	}
+	pull(c.InitPulls)
+	round := 1
+	for counts.Pulls < c.MaxPulls {
+		b := beta(1, round, c.Delta)
+		mean := counts.Mean()
+		lb := LowerBound(mean, counts.Pulls, b)
+		ub := UpperBound(mean, counts.Pulls, b)
+		if lb > tau {
+			return true, true, counts
+		}
+		if ub < tau {
+			return false, true, counts
+		}
+		if ub-lb < c.Eps {
+			return mean >= tau, true, counts
+		}
+		pull(c.Batch)
+		round++
+	}
+	return counts.Mean() >= tau, false, counts
+}

@@ -1,0 +1,181 @@
+// Package nb implements a naive Bayes classifier over mixed tabular data:
+// categorical attributes use Laplace-smoothed multinomial likelihoods and
+// numeric attributes Gaussian likelihoods. It is a second black-box model
+// for the explanation experiments — the paper evaluates on a random
+// forest but argues its conclusions are classifier-independent because
+// Shahin's speedup comes from reducing the *number* of classifier
+// invocations; having a structurally different model lets this repo test
+// that claim.
+package nb
+
+import (
+	"fmt"
+	"math"
+
+	"shahin/internal/dataset"
+	"shahin/internal/rf"
+)
+
+// Model is a fitted naive Bayes classifier.
+type Model struct {
+	Schema *dataset.Schema
+	Prior  []float64 // log prior per class
+
+	// Categorical: CatLL[a][class][value] is the log likelihood of the
+	// value given the class (nil slot for numeric attributes).
+	CatLL [][][]float64
+	// Numeric: per attribute per class Gaussian parameters (unused slots
+	// for categorical attributes).
+	Mean [][]float64
+	Var  [][]float64
+}
+
+var _ rf.Classifier = (*Model)(nil)
+
+// Train fits the model on a labelled dataset with Laplace smoothing
+// (alpha = 1) for categorical attributes and a variance floor for
+// numerics.
+func Train(d *dataset.Dataset) (*Model, error) {
+	if d.Labels == nil {
+		return nil, fmt.Errorf("nb: training data has no labels")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("nb: empty training data")
+	}
+	k := d.Schema.NumClasses()
+	m := &Model{
+		Schema: d.Schema,
+		Prior:  make([]float64, k),
+		CatLL:  make([][][]float64, d.NumAttrs()),
+		Mean:   make([][]float64, d.NumAttrs()),
+		Var:    make([][]float64, d.NumAttrs()),
+	}
+
+	classN := make([]float64, k)
+	for _, l := range d.Labels {
+		classN[l]++
+	}
+	for c := 0; c < k; c++ {
+		// Laplace-smoothed prior so empty classes stay finite.
+		m.Prior[c] = math.Log((classN[c] + 1) / (float64(n) + float64(k)))
+	}
+
+	for a := 0; a < d.NumAttrs(); a++ {
+		attr := &d.Schema.Attrs[a]
+		col := d.Cols[a]
+		switch attr.Kind {
+		case dataset.Categorical:
+			card := attr.Cardinality()
+			counts := make([][]float64, k)
+			for c := range counts {
+				counts[c] = make([]float64, card)
+			}
+			for i, v := range col {
+				counts[d.Labels[i]][int(v)]++
+			}
+			ll := make([][]float64, k)
+			for c := 0; c < k; c++ {
+				ll[c] = make([]float64, card)
+				denom := classN[c] + float64(card) // alpha = 1
+				for v := 0; v < card; v++ {
+					ll[c][v] = math.Log((counts[c][v] + 1) / denom)
+				}
+			}
+			m.CatLL[a] = ll
+		case dataset.Numeric:
+			mean := make([]float64, k)
+			variance := make([]float64, k)
+			for i, v := range col {
+				mean[d.Labels[i]] += v
+			}
+			for c := 0; c < k; c++ {
+				if classN[c] > 0 {
+					mean[c] /= classN[c]
+				}
+			}
+			for i, v := range col {
+				dlt := v - mean[d.Labels[i]]
+				variance[d.Labels[i]] += dlt * dlt
+			}
+			for c := 0; c < k; c++ {
+				if classN[c] > 1 {
+					variance[c] /= classN[c]
+				}
+				if variance[c] < 1e-9 {
+					variance[c] = 1e-9
+				}
+			}
+			m.Mean[a] = mean
+			m.Var[a] = variance
+		}
+	}
+	return m, nil
+}
+
+// NumClasses implements rf.Classifier.
+func (m *Model) NumClasses() int { return m.Schema.NumClasses() }
+
+// Predict implements rf.Classifier: argmax over class log posteriors.
+func (m *Model) Predict(x []float64) int {
+	best, bestLP := 0, math.Inf(-1)
+	for c := range m.Prior {
+		lp := m.logPosterior(x, c)
+		if lp > bestLP {
+			best, bestLP = c, lp
+		}
+	}
+	return best
+}
+
+// LogPosterior returns the unnormalised class log posteriors for x. The
+// slice is freshly allocated.
+func (m *Model) LogPosterior(x []float64) []float64 {
+	out := make([]float64, len(m.Prior))
+	for c := range out {
+		out[c] = m.logPosterior(x, c)
+	}
+	return out
+}
+
+func (m *Model) logPosterior(x []float64, c int) float64 {
+	lp := m.Prior[c]
+	for a, v := range x {
+		switch m.Schema.Attrs[a].Kind {
+		case dataset.Categorical:
+			ll := m.CatLL[a][c]
+			vi := int(v)
+			if vi < 0 || vi >= len(ll) {
+				// Unseen category index: treat as maximally surprising but
+				// finite, so prediction still works on noisy inputs.
+				lp += math.Log(1e-9)
+				continue
+			}
+			lp += ll[vi]
+		case dataset.Numeric:
+			mean, variance := m.Mean[a][c], m.Var[a][c]
+			d := v - mean
+			lp += -0.5*math.Log(2*math.Pi*variance) - d*d/(2*variance)
+		}
+	}
+	return lp
+}
+
+// Accuracy returns the fraction of rows classified correctly.
+func (m *Model) Accuracy(d *dataset.Dataset) float64 {
+	if d.NumRows() == 0 {
+		return 0
+	}
+	correct := 0
+	row := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumRows(); i++ {
+		row = d.Row(i, row)
+		if m.Predict(row) == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.NumRows())
+}

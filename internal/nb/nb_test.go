@@ -1,0 +1,162 @@
+package nb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"shahin/internal/datagen"
+	"shahin/internal/dataset"
+)
+
+func mixedData(n int, seed int64) *dataset.Dataset {
+	s := &dataset.Schema{
+		Attrs: []dataset.Attr{
+			{Name: "c", Kind: dataset.Categorical, Values: []string{"a", "b", "c"}},
+			{Name: "x", Kind: dataset.Numeric},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(s, n)
+	for i := 0; i < n; i++ {
+		label := rng.Intn(2)
+		// Class-conditional structure NB can learn: class 1 prefers
+		// category 0 and larger x.
+		var c float64
+		if label == 1 && rng.Float64() < 0.8 {
+			c = 0
+		} else {
+			c = float64(1 + rng.Intn(2))
+		}
+		x := rng.NormFloat64() + 3*float64(label)
+		d.AppendRow([]float64{c, x}, label)
+	}
+	return d
+}
+
+func TestTrainErrors(t *testing.T) {
+	d := mixedData(10, 1)
+	d.Labels = nil
+	if _, err := Train(d); err == nil {
+		t.Fatal("unlabelled data accepted")
+	}
+	empty := dataset.New(d.Schema, 0)
+	empty.Labels = []int{}
+	if _, err := Train(empty); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestLearnsClassConditional(t *testing.T) {
+	train := mixedData(3000, 2)
+	test := mixedData(800, 3)
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.85 {
+		t.Fatalf("accuracy %.3f < 0.85", acc)
+	}
+	if m.NumClasses() != 2 {
+		t.Fatalf("NumClasses=%d", m.NumClasses())
+	}
+}
+
+func TestPredictAgreesWithPosterior(t *testing.T) {
+	m, err := Train(mixedData(1000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{float64(rng.Intn(3)), rng.NormFloat64() * 3}
+		lp := m.LogPosterior(x)
+		best := 0
+		if lp[1] > lp[0] {
+			best = 1
+		}
+		if m.Predict(x) != best {
+			t.Fatal("Predict disagrees with LogPosterior argmax")
+		}
+	}
+}
+
+func TestUnseenCategoryStaysFinite(t *testing.T) {
+	m, err := Train(mixedData(500, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := m.LogPosterior([]float64{99, 0}) // category index way out of range
+	for c, v := range lp {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("class %d posterior %g not finite", c, v)
+		}
+	}
+}
+
+func TestLaplaceSmoothing(t *testing.T) {
+	// Category "c" never occurs with class 1 in training; its likelihood
+	// must still be positive (finite log).
+	s := &dataset.Schema{
+		Attrs:   []dataset.Attr{{Name: "c", Kind: dataset.Categorical, Values: []string{"a", "b", "c"}}},
+		Classes: []string{"neg", "pos"},
+	}
+	d := dataset.New(s, 8)
+	d.AppendRow([]float64{0}, 1)
+	d.AppendRow([]float64{0}, 1)
+	d.AppendRow([]float64{1}, 0)
+	d.AppendRow([]float64{2}, 0)
+	m, err := Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.CatLL[0][1][2]; math.IsInf(v, 0) {
+		t.Fatal("unsmoothed zero-count likelihood")
+	}
+}
+
+func TestVarianceFloor(t *testing.T) {
+	// Constant numeric column must not produce zero variance.
+	s := &dataset.Schema{
+		Attrs:   []dataset.Attr{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"neg", "pos"},
+	}
+	d := dataset.New(s, 4)
+	for i := 0; i < 4; i++ {
+		d.AppendRow([]float64{5}, i%2)
+	}
+	m, err := Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if m.Var[0][c] <= 0 {
+			t.Fatalf("class %d variance %g", c, m.Var[0][c])
+		}
+	}
+	if got := m.Predict([]float64{5}); got < 0 || got > 1 {
+		t.Fatalf("degenerate prediction %d", got)
+	}
+}
+
+func TestOnSyntheticDataset(t *testing.T) {
+	cfg, err := datagen.Spec("recidivism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cfg.Generate(3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	train, test := data.Split(1.0/3, rng)
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NB is a weak learner on the planted concept but must beat chance.
+	if acc := m.Accuracy(test); acc < 0.6 {
+		t.Fatalf("accuracy %.3f < 0.6", acc)
+	}
+}

@@ -1,0 +1,171 @@
+package rf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"shahin/internal/dataset"
+)
+
+// Config controls random forest training. The zero value is filled with
+// reasonable defaults by Train.
+type Config struct {
+	NumTrees    int // default 100
+	MaxDepth    int // default 12
+	MinLeaf     int // default 2
+	FeaturesTry int // features per split; default floor(sqrt(p))
+	Seed        int64
+}
+
+func (c Config) fill(p int) Config {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 100
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.FeaturesTry <= 0 {
+		c.FeaturesTry = int(math.Sqrt(float64(p)))
+		if c.FeaturesTry < 1 {
+			c.FeaturesTry = 1
+		}
+	}
+	return c
+}
+
+// Forest is a bagged ensemble of CART trees; it is the black-box
+// classifier of the paper's experiments.
+type Forest struct {
+	Trees    []*Tree
+	NClasses int
+}
+
+var _ Classifier = (*Forest)(nil)
+
+// Train fits a random forest on a labelled dataset: one bootstrap sample
+// per tree, Gini splits over a random feature subset per node. Trees are
+// grown in parallel but the result is deterministic for a given seed.
+func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
+	if d.Labels == nil {
+		return nil, fmt.Errorf("rf: training data has no labels")
+	}
+	nClasses := d.Schema.NumClasses()
+	if err := validateInput(d.Cols, d.Labels, nClasses); err != nil {
+		return nil, err
+	}
+	cfg = cfg.fill(d.NumAttrs())
+	n := d.NumRows()
+
+	f := &Forest{Trees: make([]*Tree, cfg.NumTrees), NClasses: nClasses}
+	// Derive one seed per tree up front so parallel growth stays
+	// deterministic.
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, cfg.NumTrees)
+	for i := range seeds {
+		seeds[i] = seedRng.Int63()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.NumTrees {
+		workers = cfg.NumTrees
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				rng := rand.New(rand.NewSource(seeds[t]))
+				idx := make([]int, n)
+				for i := range idx {
+					idx[i] = rng.Intn(n) // bootstrap with replacement
+				}
+				f.Trees[t] = growTree(d.Cols, d.Labels, nClasses, idx, treeConfig{
+					maxDepth:    cfg.MaxDepth,
+					minLeaf:     cfg.MinLeaf,
+					featuresTry: cfg.FeaturesTry,
+				}, rng)
+			}
+		}()
+	}
+	for t := 0; t < cfg.NumTrees; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return f, nil
+}
+
+// NumClasses implements Classifier.
+func (f *Forest) NumClasses() int { return f.NClasses }
+
+// Predict returns the majority vote over the trees.
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.NClasses)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestN := 0, -1
+	for c, v := range votes {
+		if v > bestN {
+			best, bestN = c, v
+		}
+	}
+	return best
+}
+
+// Prob returns the per-class vote fractions. The slice is freshly
+// allocated per call.
+func (f *Forest) Prob(x []float64) []float64 {
+	p := make([]float64, f.NClasses)
+	for _, t := range f.Trees {
+		p[t.Predict(x)]++
+	}
+	for c := range p {
+		p[c] /= float64(len(f.Trees))
+	}
+	return p
+}
+
+// Accuracy returns the fraction of rows in d the forest classifies
+// correctly.
+func (f *Forest) Accuracy(d *dataset.Dataset) float64 {
+	if d.NumRows() == 0 {
+		return 0
+	}
+	correct := 0
+	row := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumRows(); i++ {
+		row = d.Row(i, row)
+		if f.Predict(row) == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.NumRows())
+}
+
+// Save serialises the forest with encoding/gob.
+func (f *Forest) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// Load deserialises a forest written by Save.
+func Load(r io.Reader) (*Forest, error) {
+	var f Forest
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("rf: decoding forest: %w", err)
+	}
+	if len(f.Trees) == 0 || f.NClasses < 2 {
+		return nil, fmt.Errorf("rf: decoded forest is empty or degenerate")
+	}
+	return &f, nil
+}

@@ -1,0 +1,303 @@
+package rf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"shahin/internal/datagen"
+	"shahin/internal/dataset"
+)
+
+// xorData builds a dataset a single shallow tree cannot learn but a
+// forest (or deeper tree) can: label = (x0 > 0) XOR (x1 > 0).
+func xorData(n int, seed int64) *dataset.Dataset {
+	s := &dataset.Schema{
+		Attrs: []dataset.Attr{
+			{Name: "x0", Kind: dataset.Numeric},
+			{Name: "x1", Kind: dataset.Numeric},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(s, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.NormFloat64(), rng.NormFloat64()
+		label := 0
+		if (x0 > 0) != (x1 > 0) {
+			label = 1
+		}
+		d.AppendRow([]float64{x0, x1}, label)
+	}
+	return d
+}
+
+func TestTrainErrors(t *testing.T) {
+	d := xorData(50, 1)
+	unlabelled := dataset.New(d.Schema, 0)
+	unlabelled.AppendRow([]float64{1, 2}, -1)
+	unlabelled.Labels = nil
+	if _, err := Train(unlabelled, Config{}); err == nil {
+		t.Fatal("training without labels should fail")
+	}
+	empty := dataset.New(d.Schema, 0)
+	empty.Labels = []int{}
+	if _, err := Train(empty, Config{}); err == nil {
+		t.Fatal("training on empty data should fail")
+	}
+}
+
+func TestValidateInput(t *testing.T) {
+	cols := [][]float64{{1, 2}, {3, 4}}
+	if err := validateInput(cols, []int{0, 1}, 2); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	cases := map[string]func() error{
+		"no cols":    func() error { return validateInput(nil, nil, 2) },
+		"ragged":     func() error { return validateInput([][]float64{{1, 2}, {3}}, []int{0, 1}, 2) },
+		"bad labels": func() error { return validateInput(cols, []int{0}, 2) },
+		"one class":  func() error { return validateInput(cols, []int{0, 0}, 1) },
+		"label oob":  func() error { return validateInput(cols, []int{0, 5}, 2) },
+	}
+	for name, fn := range cases {
+		if fn() == nil {
+			t.Errorf("%s should be rejected", name)
+		}
+	}
+}
+
+func TestForestLearnsXOR(t *testing.T) {
+	train := xorData(2000, 2)
+	test := xorData(500, 3)
+	f, err := Train(train, Config{NumTrees: 50, MaxDepth: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := f.Accuracy(test); acc < 0.9 {
+		t.Fatalf("XOR accuracy %.3f < 0.9", acc)
+	}
+}
+
+func TestForestLearnsSyntheticDataset(t *testing.T) {
+	cfg, err := datagen.Spec("recidivism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cfg.Generate(3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	trainD, testD := d.Split(1.0/3, rng)
+	f, err := Train(trainD, Config{NumTrees: 60, MaxDepth: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := f.Accuracy(testD)
+	// The planted rule has 5% flip noise; a decent learner clears 0.75.
+	if acc < 0.75 {
+		t.Fatalf("synthetic accuracy %.3f < 0.75", acc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	d := xorData(500, 8)
+	a, err := Train(d, Config{NumTrees: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(d, Config{NumTrees: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestPredictPure(t *testing.T) {
+	// All rows share one label: every prediction must return it without
+	// growing any splits.
+	s := &dataset.Schema{
+		Attrs:   []dataset.Attr{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"a", "b"},
+	}
+	d := dataset.New(s, 10)
+	for i := 0; i < 10; i++ {
+		d.AppendRow([]float64{float64(i)}, 1)
+	}
+	f, err := Train(d, Config{NumTrees: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{99}); got != 1 {
+		t.Fatalf("pure forest predicted %d", got)
+	}
+	for _, tr := range f.Trees {
+		if tr.Depth() != 0 {
+			t.Fatalf("pure data grew a tree of depth %d", tr.Depth())
+		}
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	d := xorData(1000, 11)
+	f, err := Train(d, Config{NumTrees: 5, MaxDepth: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range f.Trees {
+		if depth := tr.Depth(); depth > 3 {
+			t.Fatalf("tree %d depth %d > 3", i, depth)
+		}
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	d := xorData(500, 13)
+	f, err := Train(d, Config{NumTrees: 20, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		p := f.Prob(x)
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("Prob sums to %g", sum)
+		}
+		// Predict must agree with argmax Prob.
+		best := 0
+		for c := range p {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		if f.Predict(x) != best {
+			t.Fatal("Predict disagrees with argmax Prob")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := xorData(500, 16)
+	f, err := Train(d, Config{NumTrees: 10, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if f.Predict(x) != g.Predict(x) {
+			t.Fatal("loaded forest disagrees with original")
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("Load(garbage) should fail")
+	}
+}
+
+func TestCountingWrapper(t *testing.T) {
+	d := xorData(200, 19)
+	f, err := Train(d, Config{NumTrees: 5, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounting(f)
+	if c.NumClasses() != 2 {
+		t.Fatalf("NumClasses=%d", c.NumClasses())
+	}
+	x := []float64{0.5, -0.5}
+	want := f.Predict(x)
+	for i := 0; i < 7; i++ {
+		if got := c.Predict(x); got != want {
+			t.Fatal("Counting changed the prediction")
+		}
+	}
+	if c.Invocations() != 7 {
+		t.Fatalf("Invocations=%d want 7", c.Invocations())
+	}
+	c.Reset()
+	if c.Invocations() != 0 {
+		t.Fatal("Reset did not zero the counter")
+	}
+}
+
+func TestDelayedWrapper(t *testing.T) {
+	base := Func{Classes: 2, F: func([]float64) int { return 1 }}
+	d := NewDelayed(base, 200*time.Microsecond)
+	if d.NumClasses() != 2 {
+		t.Fatalf("NumClasses=%d", d.NumClasses())
+	}
+	start := time.Now()
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		if d.Predict(nil) != 1 {
+			t.Fatal("Delayed changed the prediction")
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < calls*150*time.Microsecond {
+		t.Fatalf("20 delayed calls took only %v", elapsed)
+	}
+	// Zero delay must add (almost) nothing.
+	fast := NewDelayed(base, 0)
+	start = time.Now()
+	for i := 0; i < 1000; i++ {
+		fast.Predict(nil)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("zero-delay wrapper is slow")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	calls := 0
+	f := Func{Classes: 3, F: func(x []float64) int { calls++; return int(x[0]) }}
+	if f.NumClasses() != 3 {
+		t.Fatal("NumClasses")
+	}
+	if f.Predict([]float64{2}) != 2 || calls != 1 {
+		t.Fatal("Predict did not delegate")
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	d := xorData(2000, 21)
+	f, err := Train(d, Config{NumTrees: 100, MaxDepth: 12, Seed: 22})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.3, -1.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(x)
+	}
+}
+
+func BenchmarkForestTrain(b *testing.B) {
+	d := xorData(2000, 23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(d, Config{NumTrees: 20, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package rf implements the black-box classifier substrate: CART decision
+// trees with Gini impurity, bootstrap-bagged random forests with per-node
+// feature subsampling, and the instrumentation wrappers (invocation
+// counting, calibrated per-call delay) the benchmark harness uses to
+// reproduce the paper's cost regime, where classifier invocation accounts
+// for ~90 % of explanation time.
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Classifier is the black-box prediction interface the explainers see: a
+// tuple in, a class index out. Everything Shahin optimises is the number
+// of Predict calls.
+type Classifier interface {
+	NumClasses() int
+	Predict(x []float64) int
+}
+
+// treeNode is one node of a decision tree in flat-array form. Leaves have
+// feature == -1 and carry the majority class.
+type treeNode struct {
+	Feature   int32 // -1 for leaves
+	Class     int32 // majority class (leaves)
+	Threshold float64
+	Left      int32 // index of the <=-threshold child
+	Right     int32 // index of the >-threshold child
+}
+
+// Tree is a single CART classification tree.
+type Tree struct {
+	Nodes    []treeNode
+	NClasses int
+}
+
+// treeConfig bounds tree growth.
+type treeConfig struct {
+	maxDepth    int
+	minLeaf     int // minimum samples in a leaf
+	featuresTry int // features examined per split
+}
+
+// Predict returns the class for x.
+func (t *Tree) Predict(x []float64) int {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return int(n.Class)
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (a root-only tree has
+// depth 0). Used by tests and diagnostics.
+func (t *Tree) Depth() int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// treeBuilder carries the shared training state for one tree.
+type treeBuilder struct {
+	cols     [][]float64 // column-major training data
+	labels   []int
+	nClasses int
+	cfg      treeConfig
+	rng      *rand.Rand
+	nodes    []treeNode
+	// scratch reused across nodes
+	sortBuf []int
+}
+
+// growTree builds one tree on the given sample indices.
+func growTree(cols [][]float64, labels []int, nClasses int, idx []int, cfg treeConfig, rng *rand.Rand) *Tree {
+	b := &treeBuilder{cols: cols, labels: labels, nClasses: nClasses, cfg: cfg, rng: rng}
+	b.build(idx, 0)
+	return &Tree{Nodes: b.nodes, NClasses: nClasses}
+}
+
+// build grows the subtree over idx and returns its root node index. It
+// partitions idx in place.
+func (b *treeBuilder) build(idx []int, depth int) int32 {
+	counts := make([]int, b.nClasses)
+	for _, i := range idx {
+		counts[b.labels[i]]++
+	}
+	major, majorN := 0, -1
+	for c, n := range counts {
+		if n > majorN {
+			major, majorN = c, n
+		}
+	}
+	pure := majorN == len(idx)
+	if pure || depth >= b.cfg.maxDepth || len(idx) < 2*b.cfg.minLeaf {
+		return b.leaf(major)
+	}
+
+	feat, thr, ok := b.bestSplit(idx, counts)
+	if !ok {
+		return b.leaf(major)
+	}
+	// Partition in place around the threshold.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if b.cols[feat][idx[lo]] <= thr {
+			lo++
+		} else {
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+	}
+	if lo == 0 || lo == len(idx) {
+		return b.leaf(major) // degenerate split; shouldn't happen, be safe
+	}
+	self := int32(len(b.nodes))
+	b.nodes = append(b.nodes, treeNode{Feature: int32(feat), Threshold: thr})
+	left := b.build(idx[:lo], depth+1)
+	right := b.build(idx[lo:], depth+1)
+	b.nodes[self].Left = left
+	b.nodes[self].Right = right
+	return self
+}
+
+func (b *treeBuilder) leaf(class int) int32 {
+	i := int32(len(b.nodes))
+	b.nodes = append(b.nodes, treeNode{Feature: -1, Class: int32(class)})
+	return i
+}
+
+// bestSplit searches a random subset of features for the threshold with
+// the lowest weighted Gini impurity. counts are the class counts of idx.
+func (b *treeBuilder) bestSplit(idx []int, counts []int) (feat int, thr float64, ok bool) {
+	n := len(idx)
+	p := len(b.cols)
+	tryN := b.cfg.featuresTry
+	if tryN <= 0 || tryN > p {
+		tryN = p
+	}
+	bestGini := math.Inf(1)
+	// Reservoir-free feature subsample: shuffle a feature index list.
+	feats := b.rng.Perm(p)[:tryN]
+
+	if cap(b.sortBuf) < n {
+		b.sortBuf = make([]int, n)
+	}
+	order := b.sortBuf[:n]
+	leftCounts := make([]int, b.nClasses)
+
+	for _, f := range feats {
+		col := b.cols[f]
+		copy(order, idx)
+		sort.Slice(order, func(i, j int) bool { return col[order[i]] < col[order[j]] })
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		nl := 0
+		for i := 0; i < n-1; i++ {
+			leftCounts[b.labels[order[i]]]++
+			nl++
+			v, next := col[order[i]], col[order[i+1]]
+			if v == next {
+				continue // not a valid cut point
+			}
+			if nl < b.cfg.minLeaf || n-nl < b.cfg.minLeaf {
+				continue
+			}
+			g := weightedGini(leftCounts, counts, nl, n)
+			if g < bestGini {
+				bestGini = g
+				feat = f
+				thr = v + (next-v)/2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// weightedGini computes the size-weighted Gini impurity of a split given
+// left class counts, total class counts, and the left/total sizes.
+func weightedGini(left, total []int, nl, n int) float64 {
+	nr := n - nl
+	var gl, gr float64 // sum of squared class fractions
+	for c, lc := range left {
+		rc := total[c] - lc
+		if nl > 0 {
+			fl := float64(lc) / float64(nl)
+			gl += fl * fl
+		}
+		if nr > 0 {
+			fr := float64(rc) / float64(nr)
+			gr += fr * fr
+		}
+	}
+	giniL := 1 - gl
+	giniR := 1 - gr
+	return (float64(nl)*giniL + float64(nr)*giniR) / float64(n)
+}
+
+// validateInput checks training inputs shared by trees and forests.
+func validateInput(cols [][]float64, labels []int, nClasses int) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("rf: no feature columns")
+	}
+	n := len(cols[0])
+	if n == 0 {
+		return fmt.Errorf("rf: no training rows")
+	}
+	for i, c := range cols {
+		if len(c) != n {
+			return fmt.Errorf("rf: column %d has %d rows want %d", i, len(c), n)
+		}
+	}
+	if len(labels) != n {
+		return fmt.Errorf("rf: %d labels for %d rows", len(labels), n)
+	}
+	if nClasses < 2 {
+		return fmt.Errorf("rf: need at least 2 classes, got %d", nClasses)
+	}
+	for i, l := range labels {
+		if l < 0 || l >= nClasses {
+			return fmt.Errorf("rf: label %d of row %d outside [0,%d)", l, i, nClasses)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package rf
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counting wraps a Classifier and counts Predict invocations. It is the
+// measurement instrument behind every speedup number in the experiments:
+// Shahin's optimisations reduce exactly this counter.
+type Counting struct {
+	inner Classifier
+	n     atomic.Int64
+}
+
+// NewCounting wraps c.
+func NewCounting(c Classifier) *Counting { return &Counting{inner: c} }
+
+// NumClasses implements Classifier.
+func (c *Counting) NumClasses() int { return c.inner.NumClasses() }
+
+// Predict implements Classifier, incrementing the invocation counter.
+func (c *Counting) Predict(x []float64) int {
+	c.n.Add(1)
+	return c.inner.Predict(x)
+}
+
+// Invocations returns the number of Predict calls so far.
+func (c *Counting) Invocations() int64 { return c.n.Load() }
+
+// Reset zeroes the invocation counter.
+func (c *Counting) Reset() { c.n.Store(0) }
+
+// Delayed wraps a Classifier and adds a fixed busy-wait to every Predict
+// call. The benchmark harness uses it to reproduce the paper's cost
+// profile — in the authors' Python setup a single random-forest prediction
+// costs on the order of a millisecond, making classifier invocation ~90 %
+// of explanation time, whereas this Go forest answers in microseconds.
+// Busy-waiting (rather than sleeping) keeps sub-millisecond delays
+// accurate and deterministic under load.
+type Delayed struct {
+	inner Classifier
+	delay time.Duration
+}
+
+// NewDelayed wraps c with a per-call delay. A non-positive delay returns a
+// wrapper that adds nothing.
+func NewDelayed(c Classifier, delay time.Duration) *Delayed {
+	return &Delayed{inner: c, delay: delay}
+}
+
+// NumClasses implements Classifier.
+func (d *Delayed) NumClasses() int { return d.inner.NumClasses() }
+
+// Predict implements Classifier with the configured extra latency.
+func (d *Delayed) Predict(x []float64) int {
+	y := d.inner.Predict(x)
+	if d.delay > 0 {
+		spin(d.delay)
+	}
+	return y
+}
+
+// spin busy-waits for roughly dur.
+func spin(dur time.Duration) {
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// Func adapts a plain function to the Classifier interface; handy in tests
+// and for users wrapping external models. Classes reports NumClasses.
+type Func struct {
+	Classes int
+	F       func(x []float64) int
+}
+
+// NumClasses implements Classifier.
+func (f Func) NumClasses() int { return f.Classes }
+
+// Predict implements Classifier.
+func (f Func) Predict(x []float64) int { return f.F(x) }

@@ -1,0 +1,131 @@
+// Package store implements the pre-computed explanation store the paper's
+// introduction motivates: "an organization might pre-compute all the
+// explanations in a batch setting and retrieve them as needed". It maps
+// raw tuples to their explanations with exact-match lookup and gob
+// persistence, so a nightly Shahin batch run can serve explanation
+// requests at memory-lookup latency during the day.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"shahin/internal/core"
+)
+
+// Store is an in-memory tuple → explanation map. The zero value is
+// unusable; create one with New or Build.
+type Store struct {
+	buckets map[uint64][]entry
+	n       int
+}
+
+type entry struct {
+	Row []float64
+	Exp core.Explanation
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{buckets: make(map[uint64][]entry)}
+}
+
+// Build creates a store from parallel slices of tuples and explanations,
+// as produced by Batch.ExplainAll.
+func Build(tuples [][]float64, exps []core.Explanation) (*Store, error) {
+	if len(tuples) != len(exps) {
+		return nil, fmt.Errorf("store: %d tuples for %d explanations", len(tuples), len(exps))
+	}
+	s := New()
+	for i := range tuples {
+		s.Put(tuples[i], exps[i])
+	}
+	return s, nil
+}
+
+// Put inserts (or replaces) the explanation for a tuple. The tuple is
+// copied.
+func (s *Store) Put(tuple []float64, exp core.Explanation) {
+	h := hashRow(tuple)
+	chain := s.buckets[h]
+	for i := range chain {
+		if equalRows(chain[i].Row, tuple) {
+			chain[i].Exp = exp
+			return
+		}
+	}
+	s.buckets[h] = append(chain, entry{Row: append([]float64(nil), tuple...), Exp: exp})
+	s.n++
+}
+
+// Get retrieves the explanation for an exactly matching tuple.
+func (s *Store) Get(tuple []float64) (core.Explanation, bool) {
+	for _, e := range s.buckets[hashRow(tuple)] {
+		if equalRows(e.Row, tuple) {
+			return e.Exp, true
+		}
+	}
+	return core.Explanation{}, false
+}
+
+// Len returns the number of stored explanations.
+func (s *Store) Len() int { return s.n }
+
+// hashRow is FNV-1a over the IEEE-754 bits of the cells, so lookup treats
+// tuples as exact value vectors (NaNs normalise to one pattern).
+func hashRow(row []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range row {
+		bits := math.Float64bits(v)
+		if v != v { // normalise NaN payloads
+			bits = math.Float64bits(math.NaN())
+		}
+		binary.LittleEndian.PutUint64(buf[:], bits)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func equalRows(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) && !(a[i] != a[i] && b[i] != b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// persisted is the gob wire format.
+type persisted struct {
+	Entries []entry
+}
+
+// Save serialises the store with encoding/gob.
+func (s *Store) Save(w io.Writer) error {
+	var p persisted
+	for _, chain := range s.buckets {
+		p.Entries = append(p.Entries, chain...)
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+// Load deserialises a store written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	s := New()
+	for _, e := range p.Entries {
+		s.Put(e.Row, e.Exp)
+	}
+	return s, nil
+}

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shahin/internal/core"
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+)
+
+func attribution(class int, w ...float64) core.Explanation {
+	return core.Explanation{Attribution: &explain.Attribution{Weights: w, Class: class}}
+}
+
+func rule(class int) core.Explanation {
+	return core.Explanation{Rule: &explain.Rule{
+		Items:     dataset.Itemset{dataset.MakeItem(0, 1)},
+		Class:     class,
+		Precision: 0.96,
+		Coverage:  0.3,
+	}}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	tup := []float64{1, 2.5, 0}
+	if _, ok := s.Get(tup); ok {
+		t.Fatal("empty store hit")
+	}
+	s.Put(tup, attribution(1, 0.5, -0.1, 0))
+	got, ok := s.Get(tup)
+	if !ok || got.Attribution == nil || got.Attribution.Class != 1 {
+		t.Fatalf("Get=(%+v,%v)", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	// A near-but-not-equal tuple must miss.
+	if _, ok := s.Get([]float64{1, 2.5000001, 0}); ok {
+		t.Fatal("near-miss tuple hit")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	s := New()
+	tup := []float64{3, 4}
+	s.Put(tup, attribution(0, 0.1, 0.2))
+	s.Put(tup, attribution(1, 0.9, 0.8))
+	got, _ := s.Get(tup)
+	if got.Attribution.Class != 1 {
+		t.Fatal("replacement lost")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len=%d after replace", s.Len())
+	}
+}
+
+func TestPutCopiesTuple(t *testing.T) {
+	s := New()
+	tup := []float64{7, 8}
+	s.Put(tup, attribution(0, 1, 2))
+	tup[0] = 99
+	if _, ok := s.Get([]float64{7, 8}); !ok {
+		t.Fatal("store aliased the caller's slice")
+	}
+}
+
+func TestBuild(t *testing.T) {
+	tuples := [][]float64{{1, 0}, {2, 0}, {3, 0}}
+	exps := []core.Explanation{attribution(0, 1, 0), rule(1), attribution(1, 0, 1)}
+	s, err := Build(tuples, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	got, ok := s.Get([]float64{2, 0})
+	if !ok || got.Rule == nil || got.Rule.Precision != 0.96 {
+		t.Fatalf("rule entry lost: %+v", got)
+	}
+	if _, err := Build(tuples, exps[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestNaNTuples(t *testing.T) {
+	s := New()
+	nan := math.NaN()
+	s.Put([]float64{nan, 1}, attribution(0, 1, 1))
+	if _, ok := s.Get([]float64{nan, 1}); !ok {
+		t.Fatal("NaN tuple not retrievable")
+	}
+	if _, ok := s.Get([]float64{nan, 2}); ok {
+		t.Fatal("wrong NaN tuple hit")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	tuples := make([][]float64, 50)
+	for i := range tuples {
+		tuples[i] = []float64{float64(i), rng.NormFloat64()}
+		if i%2 == 0 {
+			s.Put(tuples[i], attribution(i%2, rng.Float64(), rng.Float64()))
+		} else {
+			s.Put(tuples[i], rule(i%2))
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 50 {
+		t.Fatalf("round trip Len=%d", back.Len())
+	}
+	for i, tup := range tuples {
+		got, ok := back.Get(tup)
+		if !ok {
+			t.Fatalf("tuple %d lost", i)
+		}
+		if i%2 == 1 && (got.Rule == nil || got.Rule.Items[0] != dataset.MakeItem(0, 1)) {
+			t.Fatalf("tuple %d rule corrupted: %+v", i, got.Rule)
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("Load(junk) should fail")
+	}
+}
+
+// Property: whatever was Put is Get-able, and random other tuples miss.
+func TestQuickStore(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 1 + rng.Intn(40)
+		tuples := make([][]float64, n)
+		for i := range tuples {
+			tuples[i] = []float64{float64(rng.Intn(5)), float64(rng.Intn(5)), rng.Float64()}
+			s.Put(tuples[i], attribution(i%2, 1))
+		}
+		for _, tup := range tuples {
+			if _, ok := s.Get(tup); !ok {
+				return false
+			}
+		}
+		// A tuple with an extra dimension must always miss.
+		_, ok := s.Get(append(append([]float64(nil), tuples[0]...), 1))
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

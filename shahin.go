@@ -1,0 +1,266 @@
+// Package shahin is a Go implementation of Shahin (Hasani et al., SIGMOD
+// 2021): fast generation of explanations for multiple predictions.
+//
+// Perturbation-based explainers — LIME, Anchor, and KernelSHAP — spend
+// almost all of their time invoking the black-box classifier on perturbed
+// tuples. When many predictions must be explained at once, much of that
+// work is redundant. Shahin mines frequent itemsets over the batch,
+// materialises labelled perturbations frozen on those itemsets, and
+// reuses them across every explanation, typically cutting classifier
+// invocations by an order of magnitude without changing the explanations.
+//
+// # Quick start
+//
+//	train, test := data.Split(1.0/3, rng)
+//	stats, _ := shahin.ComputeStats(train)
+//	model, _ := shahin.TrainForest(train, shahin.ForestConfig{})
+//	batch, _ := shahin.NewBatch(stats, model, shahin.Options{Explainer: shahin.LIME})
+//	res, _ := batch.ExplainAll(test.Rows(0, 1000))
+//	for _, e := range res.Explanations { fmt.Println(e.Attribution.TopK(5)) }
+//
+// Three entry points cover the paper's deployment modes:
+//
+//   - NewBatch: all tuples known up front (Algorithms 1–3).
+//   - NewStream: requests arrive one at a time under a memory budget
+//     (§3.5) with periodic itemset re-mining and negative-border
+//     promotion.
+//   - Sequential / Dist / Greedy: the baselines the paper evaluates
+//     against, useful for measuring speedups on your own workload.
+//
+// Any model implementing the two-method Classifier interface can be
+// explained; the built-in random forest (TrainForest) matches the paper's
+// experimental setup.
+package shahin
+
+import (
+	"io"
+	"math/rand"
+
+	"shahin/internal/core"
+	"shahin/internal/datagen"
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/explain/anchor"
+	"shahin/internal/explain/lime"
+	"shahin/internal/explain/shap"
+	"shahin/internal/explain/sshap"
+	"shahin/internal/gbt"
+	"shahin/internal/nb"
+	"shahin/internal/rf"
+	"shahin/internal/store"
+)
+
+// Core data types.
+type (
+	// Dataset is a column-major table of tuples with optional labels.
+	Dataset = dataset.Dataset
+	// Schema describes attributes (categorical or numeric) and classes.
+	Schema = dataset.Schema
+	// Attr is one attribute of a schema.
+	Attr = dataset.Attr
+	// Stats holds the training-distribution statistics explainers sample
+	// from; compute once per training set with ComputeStats.
+	Stats = dataset.Stats
+	// Item is a packed (attribute, bin) pair.
+	Item = dataset.Item
+	// Itemset is a canonically ordered set of items.
+	Itemset = dataset.Itemset
+)
+
+// Attribute kinds.
+const (
+	// Categorical attributes take one of a fixed set of values.
+	Categorical = dataset.Categorical
+	// Numeric attributes take real values (quartile-discretised for
+	// itemisation).
+	Numeric = dataset.Numeric
+)
+
+// Classifier is the black-box model interface: NumClasses and Predict.
+type Classifier = rf.Classifier
+
+// Forest is the built-in random forest classifier.
+type Forest = rf.Forest
+
+// ForestConfig controls TrainForest.
+type ForestConfig = rf.Config
+
+// ClassifierFunc adapts a plain function to the Classifier interface.
+type ClassifierFunc = rf.Func
+
+// CountingClassifier wraps a Classifier and counts Predict calls; wrap
+// your model with NewCountingClassifier to measure invocation savings.
+type CountingClassifier = rf.Counting
+
+// NaiveBayes is the built-in naive Bayes classifier (a second black-box
+// model with a very different decision surface from the forest).
+type NaiveBayes = nb.Model
+
+// GBT is the built-in gradient-boosted-trees classifier (binary only).
+type GBT = gbt.Model
+
+// GBTConfig controls TrainGBT.
+type GBTConfig = gbt.Config
+
+// Explanation outputs.
+type (
+	// Attribution is a per-attribute importance vector (LIME, SHAP).
+	Attribution = explain.Attribution
+	// Rule is an IF-THEN explanation with precision and coverage (Anchor).
+	Rule = explain.Rule
+	// Explanation is the per-tuple result: Attribution or Rule.
+	Explanation = core.Explanation
+)
+
+// Run configuration and results.
+type (
+	// Options configures a Shahin run (explainer kind, itemset mining,
+	// perturbation budget τ, cache size, seed).
+	Options = core.Options
+	// Result holds explanations plus the run's cost report.
+	Result = core.Result
+	// Report is the cost accounting of one run.
+	Report = core.Report
+	// Batch is the batch variant of Shahin.
+	Batch = core.Batch
+	// Stream is the streaming variant of Shahin.
+	Stream = core.Stream
+)
+
+// Per-explainer tuning knobs (the matching fields of Options).
+type (
+	// LIMEConfig tunes the LIME explainer (sample budget, kernel width,
+	// ridge penalty, reuse cap).
+	LIMEConfig = lime.Config
+	// AnchorConfig tunes the Anchor explainer (precision threshold τ,
+	// bandit ε/δ, beam width).
+	AnchorConfig = anchor.Config
+	// SHAPConfig tunes the KernelSHAP explainer (coalition budget,
+	// base-rate samples, reuse cap).
+	SHAPConfig = shap.Config
+	// SSHAPConfig tunes the Sampling-Shapley explainer (permutations,
+	// base-rate samples).
+	SSHAPConfig = sshap.Config
+)
+
+// Kind selects the explanation algorithm.
+type Kind = core.Kind
+
+// Explainer kinds.
+const (
+	// LIME trains a local surrogate and reports feature weights.
+	LIME = core.LIME
+	// Anchor finds high-precision IF-THEN rules.
+	Anchor = core.Anchor
+	// SHAP estimates Shapley values with the SHAP kernel.
+	SHAP = core.SHAP
+	// SampleSHAP estimates Shapley values by permutation sampling — an
+	// extension beyond the paper's three algorithms.
+	SampleSHAP = core.SampleSHAP
+)
+
+// ParseKind converts "lime", "anchor", or "shap" to a Kind.
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// ComputeStats derives the training-distribution statistics every
+// explainer needs from a (training) dataset.
+func ComputeStats(d *Dataset) (*Stats, error) { return dataset.Compute(d) }
+
+// TrainForest fits the built-in random forest on a labelled dataset.
+func TrainForest(d *Dataset, cfg ForestConfig) (*Forest, error) { return rf.Train(d, cfg) }
+
+// TrainNaiveBayes fits the built-in naive Bayes classifier.
+func TrainNaiveBayes(d *Dataset) (*NaiveBayes, error) { return nb.Train(d) }
+
+// TrainGBT fits the built-in gradient-boosted-trees classifier (binary
+// classification only).
+func TrainGBT(d *Dataset, cfg GBTConfig) (*GBT, error) { return gbt.Train(d, cfg) }
+
+// NewCountingClassifier wraps a classifier with an invocation counter.
+func NewCountingClassifier(c Classifier) *CountingClassifier { return rf.NewCounting(c) }
+
+// NewBatch creates Shahin's batch explainer: call ExplainAll with every
+// tuple to explain.
+func NewBatch(st *Stats, cls Classifier, opts Options) (*Batch, error) {
+	return core.NewBatch(st, cls, opts)
+}
+
+// NewStream creates Shahin's streaming explainer: call Explain as each
+// request arrives.
+func NewStream(st *Stats, cls Classifier, opts Options) (*Stream, error) {
+	return core.NewStream(st, cls, opts)
+}
+
+// Sequential explains the batch one tuple at a time with no reuse — the
+// baseline all speedup ratios are measured against.
+func Sequential(st *Stats, cls Classifier, opts Options, tuples [][]float64) (*Result, error) {
+	return core.Sequential(st, cls, opts, tuples)
+}
+
+// Dist simulates the paper's DIST-k baseline: the batch split evenly
+// across k sequential workers, reporting the average worker time.
+func Dist(st *Stats, cls Classifier, opts Options, tuples [][]float64, k int) (*Result, error) {
+	return core.Dist(st, cls, opts, tuples, k)
+}
+
+// Greedy runs the paper's GREEDY baseline: persist every perturbation
+// under a byte budget with LRU eviction and reuse opportunistically.
+func Greedy(st *Stats, cls Classifier, opts Options, tuples [][]float64, budgetBytes int64) (*Result, error) {
+	return core.Greedy(st, cls, opts, tuples, budgetBytes)
+}
+
+// DatasetNames lists the built-in synthetic dataset families, shaped
+// after the paper's five benchmarks (census, recidivism, lending,
+// kddcup99, covertype).
+func DatasetNames() []string { return datagen.Names() }
+
+// GenerateDataset produces rows tuples of a built-in synthetic family
+// (rows <= 0 uses the paper-scale size — up to 4 M rows; prefer an
+// explicit size).
+func GenerateDataset(name string, rows int, seed int64) (*Dataset, error) {
+	cfg, err := datagen.Spec(name)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Generate(rows, seed)
+}
+
+// SplitDataset shuffles and splits a dataset into train and test parts
+// with the given training fraction, matching the paper's 1/3 train, 2/3
+// explain protocol when frac = 1/3.
+func SplitDataset(d *Dataset, frac float64, seed int64) (train, test *Dataset) {
+	return d.Split(frac, rand.New(rand.NewSource(seed)))
+}
+
+// ReadCSV parses a dataset in the format WriteCSV produces, validating
+// the header against the schema.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) { return dataset.ReadCSV(r, schema) }
+
+// InferOptions tunes InferCSV's schema inference.
+type InferOptions = dataset.InferOptions
+
+// InferCSV reads a headered CSV without a schema, inferring attribute
+// kinds (numeric vs categorical) and the class column; see InferOptions.
+func InferCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
+	return dataset.InferSchema(r, opts)
+}
+
+// WriteCSV writes the dataset with a header row; labels (when present)
+// become a trailing "class" column.
+func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }
+
+// ExplanationStore maps tuples to pre-computed explanations with exact
+// lookup and gob persistence: pre-compute overnight with a Batch run,
+// serve during the day.
+type ExplanationStore = store.Store
+
+// NewExplanationStore returns an empty store.
+func NewExplanationStore() *ExplanationStore { return store.New() }
+
+// BuildExplanationStore indexes a Batch run's output.
+func BuildExplanationStore(tuples [][]float64, exps []Explanation) (*ExplanationStore, error) {
+	return store.Build(tuples, exps)
+}
+
+// LoadExplanationStore reads a store written by (*ExplanationStore).Save.
+func LoadExplanationStore(r io.Reader) (*ExplanationStore, error) { return store.Load(r) }
