@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"shahin/internal/bench"
+	"shahin/internal/obs"
 )
 
 // experiments maps experiment ids to their runners.
@@ -52,13 +53,15 @@ var order = []string{
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		full  = flag.Bool("full", false, "larger workloads (closer to paper scale; takes minutes)")
-		rows  = flag.Int("rows", 0, "override dataset rows")
-		batch = flag.Int("batch", 0, "override single-batch size")
-		seed  = flag.Int64("seed", 1, "master seed")
-		delay = flag.Duration("delay", 0, "override per-invocation classifier delay")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		full     = flag.Bool("full", false, "larger workloads (closer to paper scale; takes minutes)")
+		rows     = flag.Int("rows", 0, "override dataset rows")
+		batch    = flag.Int("batch", 0, "override single-batch size")
+		seed     = flag.Int64("seed", 1, "master seed")
+		delay    = flag.Duration("delay", 0, "override per-invocation classifier delay")
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /progress, /trace and /debug/pprof on this address while experiments run (\":0\" picks a port)")
+		traceOut = flag.String("trace-out", "", "write the JSON span dump to this file when done")
 	)
 	flag.Parse()
 
@@ -74,7 +77,21 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed}.Fill()
+	// Every experiment is instrumented: spans and counters cost a few
+	// atomic operations per tuple, invisible next to the calibrated
+	// per-invocation classifier delay.
+	rec := obs.NewRecorder()
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
+	}
+
+	cfg := bench.Config{Seed: *seed, Recorder: rec}.Fill()
 	if *full {
 		cfg.Rows = 20000
 		cfg.Batch = 1000
@@ -111,5 +128,28 @@ func main() {
 		}
 		tab.Fprint(os.Stdout)
 		fmt.Printf("(%s took %v)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("\nper-stage totals: %s\n", obs.FormatStageTotals(rec.StageTotals()))
+	if p := rec.Progress(); p.Invocations > 0 {
+		fmt.Printf("classifier invocations: %d; %d samples reused (%.1f%% reuse)\n",
+			p.Invocations, p.ReusedSamples, 100*p.ReuseRate)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-bench:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "shahin-bench: writing trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("span dump written to %s\n", *traceOut)
 	}
 }

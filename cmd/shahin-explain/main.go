@@ -35,8 +35,23 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
 		trees     = flag.Int("trees", 50, "random forest size")
 		workers   = flag.Int("workers", 1, "parallel explanation workers (batch mode, non-Anchor)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace and /debug/pprof on this address during the run (\":0\" picks a port)")
+		traceOut  = flag.String("trace-out", "", "write the JSON span dump to this file when done")
 	)
 	flag.Parse()
+
+	var rec *shahin.Recorder
+	if *obsAddr != "" || *traceOut != "" {
+		rec = shahin.NewRecorder()
+	}
+	if *obsAddr != "" {
+		srv, err := shahin.ServeMetrics(*obsAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
+	}
 
 	kind, err := shahin.ParseKind(*explainer)
 	if err != nil {
@@ -61,7 +76,7 @@ func main() {
 		*n = test.NumRows()
 	}
 	tuples := test.Rows(0, *n)
-	opts := shahin.Options{Explainer: kind, Seed: *seed + 3, Workers: *workers}
+	opts := shahin.Options{Explainer: kind, Seed: *seed + 3, Workers: *workers, Recorder: rec}
 
 	var (
 		explanations []shahin.Explanation
@@ -104,14 +119,26 @@ func main() {
 	for i, e := range explanations {
 		fmt.Printf("tuple %3d: %s\n", i, render(e, test.Schema, *topK))
 	}
-	fmt.Printf("\n%d explanations in %v (%.2f ms/tuple)\n",
-		report.Tuples, report.WallTime.Round(1e6), float64(report.PerTuple().Microseconds())/1000)
-	fmt.Printf("classifier invocations: %d (%d pre-labelling the pool), %d samples reused\n",
-		report.Invocations, report.PoolInvocations, report.ReusedSamples)
-	if report.FrequentItemsets > 0 {
-		fmt.Printf("frequent itemsets pooled: %d; housekeeping overhead %.1f%%\n",
-			report.FrequentItemsets, 100*report.OverheadFraction())
+	fmt.Printf("\n%s\n", report.String())
+	if *traceOut != "" {
+		if err := writeTrace(rec, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("span dump written to %s\n", *traceOut)
 	}
+}
+
+// writeTrace dumps the recorder's span tree as JSON.
+func writeTrace(rec *shahin.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // render formats one explanation for the terminal.

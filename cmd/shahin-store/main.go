@@ -29,8 +29,23 @@ func main() {
 		storePath = flag.String("store", "explanations.gob", "store path (lookup mode)")
 		tupleIdx  = flag.Int("tuple", 0, "held-out tuple index to look up (lookup mode)")
 		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace and /debug/pprof on this address during the build (\":0\" picks a port)")
+		traceOut  = flag.String("trace-out", "", "write the JSON span dump to this file when the build finishes")
 	)
 	flag.Parse()
+
+	var rec *shahin.Recorder
+	if *obsAddr != "" || *traceOut != "" {
+		rec = shahin.NewRecorder()
+	}
+	if *obsAddr != "" {
+		srv, err := shahin.ServeMetrics(*obsAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
+	}
 
 	kind, err := shahin.ParseKind(*explainer)
 	if err != nil {
@@ -58,7 +73,7 @@ func main() {
 			*n = test.NumRows()
 		}
 		tuples := test.Rows(0, *n)
-		batch, err := shahin.NewBatch(stats, model, shahin.Options{Explainer: kind, Seed: *seed + 3})
+		batch, err := shahin.NewBatch(stats, model, shahin.Options{Explainer: kind, Seed: *seed + 3, Recorder: rec})
 		if err != nil {
 			fatal(err)
 		}
@@ -78,8 +93,21 @@ func main() {
 		if err := st.Save(f); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pre-computed %d explanations in %v (%d classifier calls) -> %s\n",
-			res.Report.Tuples, res.Report.WallTime.Round(1e6), res.Report.Invocations, *out)
+		fmt.Printf("%s\nstore -> %s\n", res.Report.String(), *out)
+		if *traceOut != "" {
+			tf, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteTrace(tf); err != nil {
+				tf.Close()
+				fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("span dump written to %s\n", *traceOut)
+		}
 
 	case "lookup":
 		f, err := os.Open(*storePath)

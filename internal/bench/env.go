@@ -22,6 +22,7 @@ import (
 	"shahin/internal/explain/anchor"
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
+	"shahin/internal/obs"
 	"shahin/internal/rf"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	LIMESamples int // LIME perturbation budget N (default 400)
 	SHAPSamples int // SHAP coalition budget M (default 256)
 	Tau         int // perturbations per frequent itemset (default 100)
+
+	// Recorder, when non-nil, instruments every run of the suite: spans
+	// per stage, live counters, and latency histograms, servable over
+	// HTTP while experiments are in flight. nil keeps runs uninstrumented
+	// (the zero-overhead default the testing.B benchmarks measure).
+	Recorder *obs.Recorder
 }
 
 // Fill returns the config with defaults applied.
@@ -102,6 +109,7 @@ func (c Config) Options(kind core.Kind) core.Options {
 		Anchor:    anchor.Config{MaxPulls: 2000, BatchPulls: 25},
 		Tau:       c.Tau,
 		Seed:      c.Seed + 100,
+		Recorder:  c.Recorder,
 	}
 }
 

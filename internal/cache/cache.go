@@ -16,12 +16,12 @@ import (
 
 // Stats reports the repository's activity counters.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Entries   int
-	BytesUsed int64
-	Budget    int64
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	BytesUsed int64 `json:"bytes_used"`
+	Budget    int64 `json:"budget"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 with no traffic.
@@ -31,6 +31,16 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// Hooks observes repository events as they happen (the observability
+// recorder wires live counters in this way). Any field may be nil; the
+// callbacks themselves must be cheap — they run inline with lookups and
+// evictions.
+type Hooks struct {
+	Hit   func()
+	Miss  func()
+	Evict func()
 }
 
 // Repo is a byte-budgeted, LRU-evicting store of labelled perturbations
@@ -45,7 +55,11 @@ type Repo struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	hooks     Hooks
 }
+
+// SetHooks installs event callbacks; install before use.
+func (r *Repo) SetHooks(h Hooks) { r.hooks = h }
 
 type entry struct {
 	key     dataset.ItemsetKey
@@ -115,9 +129,15 @@ func (r *Repo) Get(key dataset.ItemsetKey) ([]perturb.Sample, bool) {
 	e, ok := r.entries[key]
 	if !ok {
 		r.misses++
+		if r.hooks.Miss != nil {
+			r.hooks.Miss()
+		}
 		return nil, false
 	}
 	r.hits++
+	if r.hooks.Hit != nil {
+		r.hooks.Hit()
+	}
 	r.lru.MoveToFront(e.elem)
 	return e.samples, true
 }
@@ -179,6 +199,9 @@ func (r *Repo) remove(e *entry, evicted bool) {
 	r.used -= e.bytes
 	if evicted {
 		r.evictions++
+		if r.hooks.Evict != nil {
+			r.hooks.Evict()
+		}
 	}
 }
 

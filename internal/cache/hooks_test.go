@@ -1,0 +1,67 @@
+package cache
+
+import "testing"
+
+func TestHitRate(t *testing.T) {
+	if got := (Stats{}).HitRate(); got != 0 {
+		t.Fatalf("zero-lookup HitRate = %v, want 0", got)
+	}
+	if got := (Stats{Hits: 3, Misses: 1}).HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+	if got := (Stats{Misses: 5}).HitRate(); got != 0 {
+		t.Fatalf("all-miss HitRate = %v, want 0", got)
+	}
+}
+
+// TestHooksFire verifies every repository event reaches its callback and
+// that the hook counts stay in lockstep with Stats.
+func TestHooksFire(t *testing.T) {
+	var hits, misses, evictions int
+	r := NewRepo(3 * sampleBytes())
+	r.SetHooks(Hooks{
+		Hit:   func() { hits++ },
+		Miss:  func() { misses++ },
+		Evict: func() { evictions++ },
+	})
+
+	if _, ok := r.Get(key(0, 0)); ok {
+		t.Fatal("unexpected hit")
+	}
+	r.Put(key(0, 0), mkSamples(2))
+	if _, ok := r.Get(key(0, 0)); !ok {
+		t.Fatal("expected hit")
+	}
+	r.Put(key(0, 1), mkSamples(2)) // over budget: evicts key(0,0)
+	if _, ok := r.Get(key(0, 0)); ok {
+		t.Fatal("evicted entry still resident")
+	}
+
+	if hits != 1 || misses != 2 || evictions != 1 {
+		t.Fatalf("hooks saw hits=%d misses=%d evictions=%d, want 1/2/1", hits, misses, evictions)
+	}
+	st := r.Stats()
+	if int(st.Hits) != hits || int(st.Misses) != misses || int(st.Evictions) != evictions {
+		t.Fatalf("stats %+v disagree with hooks (%d/%d/%d)", st, hits, misses, evictions)
+	}
+}
+
+// TestNoHooks makes sure the repo works with no hooks installed (the
+// default) and with a partially filled Hooks struct.
+func TestNoHooks(t *testing.T) {
+	r := NewRepo(2 * sampleBytes())
+	r.Put(key(0, 0), mkSamples(1))
+	r.Get(key(0, 0))
+	r.Get(key(0, 1))
+	r.Put(key(0, 1), mkSamples(1))
+	r.Put(key(0, 2), mkSamples(1)) // forces an eviction with a nil Evict hook
+
+	var hits int
+	r.SetHooks(Hooks{Hit: func() { hits++ }}) // Miss and Evict stay nil
+	r.Get(key(0, 2))
+	r.Get(key(9, 9))
+	r.Put(key(0, 3), mkSamples(1))
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}

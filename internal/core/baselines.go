@@ -7,6 +7,7 @@ import (
 
 	"shahin/internal/dataset"
 	"shahin/internal/fim"
+	"shahin/internal/obs"
 	"shahin/internal/rf"
 )
 
@@ -21,6 +22,12 @@ func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]f
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
+	rec := opts.Recorder
+	root := rec.StartSpan(obs.StageSequential)
+	root.SetAttr("tuples", len(tuples))
+	defer root.End()
+	rec.Gauge(obs.GaugeTuplesTotal).Set(int64(len(tuples)))
+
 	// Anchor still needs a coverage sample; its cost is part of setup for
 	// both baseline and Shahin, so the comparison stays fair.
 	var covRows []dataset.Itemset
@@ -29,19 +36,39 @@ func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]f
 	}
 	eng := newEngine(opts, st, cls, covRows, rng)
 
+	explainSpan := root.Child(obs.StageExplain)
+	var (
+		tupleHist *obs.Histogram
+		doneCtr   *obs.Counter
+	)
+	if rec != nil {
+		tupleHist = rec.Histogram(obs.HistExplainTuple)
+		doneCtr = rec.Counter(obs.CounterTuplesDone)
+	}
 	out := make([]Explanation, 0, len(tuples))
 	for i, t := range tuples {
+		var tupleStart time.Time
+		if tupleHist != nil {
+			tupleStart = time.Now()
+		}
 		exp, err := eng.explain(t, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
 		}
+		if tupleHist != nil {
+			tupleHist.Observe(time.Since(tupleStart))
+			doneCtr.Inc()
+		}
 		out = append(out, exp)
 	}
+	explainSpan.End()
+	wall := time.Since(start)
 	return &Result{
 		Explanations: out,
 		Report: Report{
 			Tuples:      len(tuples),
-			WallTime:    time.Since(start),
+			WallTime:    wall,
+			ExplainTime: wall,
 			Invocations: eng.invocations(),
 		},
 	}, nil
@@ -93,11 +120,16 @@ func Dist(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64
 		total += res.Report.WallTime
 		machines++
 	}
+	// Each machine's Sequential run set the gauge to its chunk size;
+	// restore the batch-wide total for live progress readers.
+	opts.Recorder.Gauge(obs.GaugeTuplesTotal).Set(int64(len(tuples)))
+	wall := total / time.Duration(machines)
 	return &Result{
 		Explanations: all,
 		Report: Report{
 			Tuples:      len(tuples),
-			WallTime:    total / time.Duration(machines),
+			WallTime:    wall,
+			ExplainTime: wall,
 			Invocations: invs,
 		},
 	}, nil

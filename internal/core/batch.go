@@ -11,6 +11,7 @@ import (
 	"shahin/internal/explain"
 	"shahin/internal/explain/anchor"
 	"shahin/internal/fim"
+	"shahin/internal/obs"
 	"shahin/internal/perturb"
 	"shahin/internal/rf"
 	"shahin/internal/sample"
@@ -45,8 +46,16 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
+	rec := opts.Recorder
+	root := rec.StartSpan(obs.StageBatch)
+	root.SetAttr("tuples", len(tuples))
+	root.SetAttr("explainer", opts.Explainer.String())
+	defer root.End()
+	rec.Gauge(obs.GaugeTuplesTotal).Set(int64(len(tuples)))
+
 	// Step 1 (overhead): itemise a uniform sample of the batch and mine
 	// frequent itemsets — max(1000, 1%) per the paper's heuristic.
+	mineSpan := root.Child(obs.StageMine)
 	mineStart := time.Now()
 	sampleN := fim.SampleSize(len(tuples))
 	switch {
@@ -81,11 +90,16 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 		}
 	}
 	mineTime := time.Since(mineStart)
+	mineSpan.SetAttr("frequent_itemsets", len(frequent))
+	mineSpan.End()
 
 	eng := newEngine(opts, b.st, b.cls, rows, rng)
 	gen := perturb.NewGenerator(b.st, rng)
 
 	// Step 2: materialise and label τ perturbations per frequent itemset.
+	poolSpan := root.Child(obs.StagePoolBuild)
+	preLabelSpan := poolSpan.Child(obs.StagePreLabel)
+	poolStart := time.Now()
 	var (
 		pool *itemsetPool
 		repo *cache.Repo
@@ -95,9 +109,11 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	switch opts.Explainer {
 	case Anchor:
 		sh = anchor.NewShared(eng.cls.NumClasses(), opts.CacheBytes)
+		sh.Repo.SetHooks(cacheHooks(rec))
 		seedAnchor(sh, eng.cls, gen, frequent, opts.Tau)
 	default:
 		repo = cache.NewRepo(opts.CacheBytes)
+		repo.SetHooks(cacheHooks(rec))
 		sets = make([]dataset.Itemset, len(frequent))
 		for i, mnd := range frequent {
 			samples := make([]perturb.Sample, opts.Tau)
@@ -109,16 +125,33 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 			repo.Put(mnd.Set.Key(), samples)
 			sets[i] = mnd.Set
 		}
-		pool = newItemsetPool(repo, sets)
+		pool = newItemsetPool(repo, sets, rec)
 	}
 	poolInv := eng.invocations()
+	poolTime := time.Since(poolStart)
+	preLabelSpan.End()
+	poolSpan.SetAttr("pool_invocations", poolInv)
+	poolSpan.End()
+	rec.Counter(obs.CounterPoolInvocations).Add(poolInv)
 
 	// Step 3: explain every tuple, reusing pooled work.
 	rep := Report{
 		Tuples:           len(tuples),
 		OverheadTime:     mineTime,
+		MineTime:         mineTime,
+		PoolTime:         poolTime,
 		PoolInvocations:  poolInv,
 		FrequentItemsets: len(frequent),
+	}
+	explainSpan := root.Child(obs.StageExplain)
+	explainStart := time.Now()
+	var (
+		tupleHist *obs.Histogram
+		doneCtr   *obs.Counter
+	)
+	if rec != nil {
+		tupleHist = rec.Histogram(obs.HistExplainTuple)
+		doneCtr = rec.Counter(obs.CounterTuplesDone)
 	}
 	var out []Explanation
 	if pool != nil && opts.Workers > 1 {
@@ -136,9 +169,17 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 				pool.beginTuple()
 				pl = pool
 			}
+			var tupleStart time.Time
+			if tupleHist != nil {
+				tupleStart = time.Now()
+			}
 			exp, err := eng.explain(t, pl, sh)
 			if err != nil {
 				return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
+			}
+			if tupleHist != nil {
+				tupleHist.Observe(time.Since(tupleStart))
+				doneCtr.Inc()
 			}
 			out = append(out, exp)
 		}
@@ -148,6 +189,8 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 			rep.ReusedSamples = pool.reused
 		}
 	}
+	rep.ExplainTime = time.Since(explainStart)
+	explainSpan.End()
 	if repo != nil {
 		rep.Cache = repo.Stats()
 	}
@@ -168,6 +211,15 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 	if workers > len(tuples) {
 		workers = len(tuples)
 	}
+	rec := opts.Recorder
+	var (
+		tupleHist *obs.Histogram
+		doneCtr   *obs.Counter
+	)
+	if rec != nil {
+		tupleHist = rec.Histogram(obs.HistExplainTuple)
+		doneCtr = rec.Counter(obs.CounterTuplesDone)
+	}
 	out := make([]Explanation, len(tuples))
 	engines := make([]*engine, workers)
 	pools := make([]*itemsetPool, workers)
@@ -177,16 +229,24 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 		wopts := opts
 		wopts.Seed = opts.Seed + 7919*int64(w+1)
 		engines[w] = newEngine(wopts, b.st, b.cls, nil, rand.New(rand.NewSource(wopts.Seed)))
-		pools[w] = newItemsetPool(snap, sets)
+		pools[w] = newItemsetPool(snap, sets, rec)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(tuples); i += workers {
 				pools[w].beginTuple()
+				var tupleStart time.Time
+				if tupleHist != nil {
+					tupleStart = time.Now()
+				}
 				exp, err := engines[w].explain(tuples[i], pools[w], nil)
 				if err != nil {
 					errs[w] = fmt.Errorf("core: explaining tuple %d: %w", i, err)
 					return
+				}
+				if tupleHist != nil {
+					tupleHist.Observe(time.Since(tupleStart))
+					doneCtr.Inc()
 				}
 				out[i] = exp
 			}

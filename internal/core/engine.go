@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"shahin/internal/dataset"
 	"shahin/internal/explain"
@@ -10,6 +11,7 @@ import (
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
 	"shahin/internal/explain/sshap"
+	"shahin/internal/obs"
 	"shahin/internal/rf"
 )
 
@@ -27,9 +29,19 @@ type engine struct {
 }
 
 // newEngine wires up the explainer of the requested kind. covRows feeds
-// Anchor's coverage estimates (may be nil for LIME/SHAP).
+// Anchor's coverage estimates (may be nil for LIME/SHAP). When a
+// recorder is attached, every Predict through this engine also feeds
+// the recorder's invocation counter and latency histogram.
 func newEngine(opts Options, st *dataset.Stats, cls rf.Classifier, covRows []dataset.Itemset, rng *rand.Rand) *engine {
 	counting := rf.NewCounting(cls)
+	if rec := opts.Recorder; rec != nil {
+		invocations := rec.Counter(obs.CounterInvocations)
+		latency := rec.Histogram(obs.HistPredict)
+		counting.SetPredictHook(func(d time.Duration) {
+			invocations.Inc()
+			latency.Observe(d)
+		})
+	}
 	e := &engine{kind: opts.Explainer, st: st, cls: counting}
 	switch opts.Explainer {
 	case LIME:

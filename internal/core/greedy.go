@@ -7,6 +7,7 @@ import (
 
 	"shahin/internal/dataset"
 	"shahin/internal/explain"
+	"shahin/internal/obs"
 	"shahin/internal/perturb"
 	"shahin/internal/rf"
 )
@@ -32,21 +33,48 @@ func Greedy(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float
 	rng := rand.New(rand.NewSource(opts.Seed))
 	eng := newEngine(opts, st, cls, nil, rng)
 
+	rec := opts.Recorder
+	root := rec.StartSpan(obs.StageGreedy)
+	root.SetAttr("tuples", len(tuples))
+	defer root.End()
+	rec.Gauge(obs.GaugeTuplesTotal).Set(int64(len(tuples)))
+	explainSpan := root.Child(obs.StageExplain)
+	var (
+		tupleHist *obs.Histogram
+		doneCtr   *obs.Counter
+	)
+	if rec != nil {
+		tupleHist = rec.Histogram(obs.HistExplainTuple)
+		doneCtr = rec.Counter(obs.CounterTuplesDone)
+	}
+
 	store := newGreedyStore(budgetBytes)
+	store.reusedCtr = rec.Counter(obs.CounterReusedSamples)
 	out := make([]Explanation, 0, len(tuples))
 	for i, t := range tuples {
 		store.beginTuple()
+		var tupleStart time.Time
+		if tupleHist != nil {
+			tupleStart = time.Now()
+		}
 		exp, err := eng.explain(t, store, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
 		}
+		if tupleHist != nil {
+			tupleHist.Observe(time.Since(tupleStart))
+			doneCtr.Inc()
+		}
 		out = append(out, exp)
 	}
+	explainSpan.End()
+	wall := time.Since(start)
 	return &Result{
 		Explanations: out,
 		Report: Report{
 			Tuples:        len(tuples),
-			WallTime:      time.Since(start),
+			WallTime:      wall,
+			ExplainTime:   wall,
 			OverheadTime:  store.retrieval,
 			Invocations:   eng.invocations(),
 			ReusedSamples: store.reused,
@@ -70,6 +98,7 @@ type greedyStore struct {
 	consumed  map[int64]bool // per-tuple allowance
 	reused    int64
 	retrieval time.Duration
+	reusedCtr *obs.Counter // live reuse counter; nil (no-op) without a recorder
 }
 
 type storedSample struct {
@@ -129,6 +158,7 @@ func (g *greedyStore) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sam
 		}
 	}
 	g.reused += int64(len(out))
+	g.reusedCtr.Add(int64(len(out)))
 	return out
 }
 
@@ -154,6 +184,7 @@ func (g *greedyStore) ForItemset(required dataset.Itemset, max int) []perturb.Sa
 		}
 	}
 	g.reused += int64(len(out))
+	g.reusedCtr.Add(int64(len(out)))
 	return out
 }
 

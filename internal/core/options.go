@@ -10,11 +10,13 @@ package core
 import (
 	"fmt"
 
+	"shahin/internal/cache"
 	"shahin/internal/dataset"
 	"shahin/internal/explain/anchor"
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
 	"shahin/internal/explain/sshap"
+	"shahin/internal/obs"
 )
 
 // Kind selects which explanation algorithm a run uses.
@@ -126,6 +128,15 @@ type Options struct {
 	// caches are mutated during explanation.
 	Workers int
 
+	// Recorder receives live observability data from the run:
+	// stage-scoped spans (mine, pool-build, pre-label, explain), atomic
+	// progress counters, and latency histograms for classifier Predict
+	// calls and per-tuple explain times. nil — the default — disables
+	// all instrumentation; the pipeline's hot paths then pay only nil
+	// checks. The same recorder may be shared across runs (counters
+	// accumulate) and served over HTTP with obs.Serve.
+	Recorder *obs.Recorder
+
 	// StreamRecompute is the streaming variant's re-mining period in
 	// tuples (default 100, the paper's threshold).
 	StreamRecompute int
@@ -163,4 +174,17 @@ func (o Options) withDefaults() Options {
 		o.Workers = 1
 	}
 	return o
+}
+
+// cacheHooks builds repository event hooks feeding the recorder's cache
+// counters (zero Hooks — all callbacks nil — when rec is nil).
+func cacheHooks(rec *obs.Recorder) cache.Hooks {
+	if rec == nil {
+		return cache.Hooks{}
+	}
+	return cache.Hooks{
+		Hit:   rec.Counter(obs.CounterCacheHits).Inc,
+		Miss:  rec.Counter(obs.CounterCacheMisses).Inc,
+		Evict: rec.Counter(obs.CounterCacheEvictions).Inc,
+	}
 }

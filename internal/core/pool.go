@@ -7,6 +7,7 @@ import (
 	"shahin/internal/cache"
 	"shahin/internal/dataset"
 	"shahin/internal/explain"
+	"shahin/internal/obs"
 	"shahin/internal/perturb"
 )
 
@@ -41,11 +42,12 @@ type itemsetPool struct {
 
 	reused    int64
 	retrieval time.Duration
+	reusedCtr *obs.Counter // live reuse counter; nil (no-op) without a recorder
 }
 
 var _ explain.Pool = (*itemsetPool)(nil)
 
-func newItemsetPool(repo sampleSource, itemsets []dataset.Itemset) *itemsetPool {
+func newItemsetPool(repo sampleSource, itemsets []dataset.Itemset, rec *obs.Recorder) *itemsetPool {
 	longest := append([]dataset.Itemset(nil), itemsets...)
 	sort.SliceStable(longest, func(i, j int) bool { return len(longest[i]) > len(longest[j]) })
 	return &itemsetPool{
@@ -54,6 +56,7 @@ func newItemsetPool(repo sampleSource, itemsets []dataset.Itemset) *itemsetPool 
 		longestView: longest,
 		cursors:     make(map[dataset.ItemsetKey]int),
 		consumed:    make(map[dataset.ItemsetKey][]bool),
+		reusedCtr:   rec.Counter(obs.CounterReusedSamples),
 	}
 }
 
@@ -90,6 +93,7 @@ func (p *itemsetPool) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sam
 		p.cursors[key] = cur
 	}
 	p.reused += int64(len(out))
+	p.reusedCtr.Add(int64(len(out)))
 	return out
 }
 
@@ -141,5 +145,6 @@ func (p *itemsetPool) ForItemset(required dataset.Itemset, max int) []perturb.Sa
 		}
 	}
 	p.reused += int64(len(out))
+	p.reusedCtr.Add(int64(len(out)))
 	return out
 }

@@ -26,7 +26,7 @@ func poolWith(t *testing.T) (*itemsetPool, dataset.Itemset, dataset.Itemset) {
 	repo := cache.NewRepo(0)
 	repo.Put(f1.Key(), []perturb.Sample{mk(1, 1, 0, 0, 0), mk(0, 1, 2, 3, 0)})
 	repo.Put(f2.Key(), []perturb.Sample{mk(1, 1, 2, 0, 1), mk(1, 1, 2, 2, 2)})
-	return newItemsetPool(repo, []dataset.Itemset{f1, f2}), f1, f2
+	return newItemsetPool(repo, []dataset.Itemset{f1, f2}, nil), f1, f2
 }
 
 func TestPoolForTupleServesContainedItemsets(t *testing.T) {
@@ -113,7 +113,7 @@ func TestPoolForItemsetSkipsHopelessRequirements(t *testing.T) {
 	f1 := dataset.Itemset{dataset.MakeItem(0, 1)}
 	repo := cache.NewRepo(0)
 	repo.Put(f1.Key(), []perturb.Sample{mk(1, 1, 2, 0, 1)})
-	p := newItemsetPool(repo, []dataset.Itemset{f1})
+	p := newItemsetPool(repo, []dataset.Itemset{f1}, nil)
 	p.beginTuple()
 	required := dataset.Itemset{
 		dataset.MakeItem(0, 1), dataset.MakeItem(1, 2),

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
+	"strings"
 	"time"
 
 	"shahin/internal/cache"
@@ -27,6 +30,14 @@ type Report struct {
 	// retrieval of pooled perturbations (not their generation or
 	// labelling, which replace baseline work rather than adding to it).
 	OverheadTime time.Duration
+
+	// MineTime, PoolTime, and ExplainTime break the wall time into
+	// pipeline stages: frequent-itemset mining (re-mining for streams),
+	// pool construction including perturbation pre-labelling, and the
+	// per-tuple explain loop.
+	MineTime    time.Duration
+	PoolTime    time.Duration
+	ExplainTime time.Duration
 
 	// Invocations is the total classifier Predict calls, including pool
 	// pre-labelling.
@@ -59,6 +70,101 @@ func (r *Report) PerTuple() time.Duration {
 		return 0
 	}
 	return r.WallTime / time.Duration(r.Tuples)
+}
+
+// ReuseRate returns the fraction of labelled perturbations served from
+// the pool instead of fresh classifier calls:
+// ReusedSamples / (ReusedSamples + Invocations), 0 with no traffic.
+func (r *Report) ReuseRate() float64 {
+	total := r.ReusedSamples + r.Invocations
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ReusedSamples) / float64(total)
+}
+
+// reportJSON is the MarshalJSON shape: flat snake_case fields with the
+// derived metrics (per-tuple time, reuse rate, overhead fraction)
+// pre-computed, so dashboards need no duration arithmetic.
+type reportJSON struct {
+	Tuples           int         `json:"tuples"`
+	WallMS           float64     `json:"wall_ms"`
+	PerTupleMS       float64     `json:"per_tuple_ms"`
+	OverheadMS       float64     `json:"overhead_ms"`
+	OverheadFraction float64     `json:"overhead_fraction"`
+	MineMS           float64     `json:"mine_ms"`
+	PoolMS           float64     `json:"pool_ms"`
+	ExplainMS        float64     `json:"explain_ms"`
+	Invocations      int64       `json:"invocations"`
+	PoolInvocations  int64       `json:"pool_invocations"`
+	ReusedSamples    int64       `json:"reused_samples"`
+	ReuseRate        float64     `json:"reuse_rate"`
+	FrequentItemsets int         `json:"frequent_itemsets"`
+	Cache            cache.Stats `json:"cache"`
+	CacheHitRate     float64     `json:"cache_hit_rate"`
+}
+
+// MarshalJSON implements json.Marshaler with the flat reportJSON shape.
+func (r Report) MarshalJSON() ([]byte, error) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return json.Marshal(reportJSON{
+		Tuples:           r.Tuples,
+		WallMS:           ms(r.WallTime),
+		PerTupleMS:       ms(r.PerTuple()),
+		OverheadMS:       ms(r.OverheadTime),
+		OverheadFraction: r.OverheadFraction(),
+		MineMS:           ms(r.MineTime),
+		PoolMS:           ms(r.PoolTime),
+		ExplainMS:        ms(r.ExplainTime),
+		Invocations:      r.Invocations,
+		PoolInvocations:  r.PoolInvocations,
+		ReusedSamples:    r.ReusedSamples,
+		ReuseRate:        r.ReuseRate(),
+		FrequentItemsets: r.FrequentItemsets,
+		Cache:            r.Cache,
+		CacheHitRate:     r.Cache.HitRate(),
+	})
+}
+
+// String renders the human-readable end-of-run summary the CLIs print.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d explanations in %v (%.2f ms/tuple)",
+		r.Tuples, r.WallTime.Round(time.Millisecond),
+		float64(r.PerTuple().Microseconds())/1000)
+	if r.MineTime > 0 || r.PoolTime > 0 || r.ExplainTime > 0 {
+		fmt.Fprintf(&b, "\nstages: mine %v · pool pre-label %v · explain %v; housekeeping overhead %.1f%%",
+			r.MineTime.Round(time.Microsecond), r.PoolTime.Round(time.Microsecond),
+			r.ExplainTime.Round(time.Microsecond), 100*r.OverheadFraction())
+	}
+	fmt.Fprintf(&b, "\nclassifier invocations: %d (%d pre-labelling the pool); %d samples reused (%.1f%% reuse)",
+		r.Invocations, r.PoolInvocations, r.ReusedSamples, 100*r.ReuseRate())
+	if r.FrequentItemsets > 0 {
+		fmt.Fprintf(&b, "\npool: %d frequent itemsets", r.FrequentItemsets)
+		if total := r.Cache.Hits + r.Cache.Misses; total > 0 || r.Cache.Entries > 0 {
+			fmt.Fprintf(&b, "; cache: %d entries, %s used", r.Cache.Entries, formatBytes(r.Cache.BytesUsed))
+			if r.Cache.Budget > 0 {
+				fmt.Fprintf(&b, " of %s", formatBytes(r.Cache.Budget))
+			}
+			fmt.Fprintf(&b, ", %.1f%% hit rate, %d evictions",
+				100*r.Cache.HitRate(), r.Cache.Evictions)
+		}
+	}
+	return b.String()
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // Result is the output of a batch-style run over a set of tuples.

@@ -11,6 +11,7 @@ import (
 	"shahin/internal/explain"
 	"shahin/internal/explain/anchor"
 	"shahin/internal/fim"
+	"shahin/internal/obs"
 	"shahin/internal/perturb"
 	"shahin/internal/rf"
 )
@@ -40,7 +41,16 @@ type Stream struct {
 	tuples   int
 	wall     time.Duration
 	overhead time.Duration
-	poolInv  int64 // invocations at the end of the last materialisation
+	poolInv  int64 // Predict calls spent materialising pooled perturbations
+
+	// Stage accounting and live instrumentation (root/tupleHist/doneCtr
+	// are nil — and no-ops — without a recorder).
+	mineTime    time.Duration
+	poolTime    time.Duration
+	explainTime time.Duration
+	root        *obs.Span
+	tupleHist   *obs.Histogram
+	doneCtr     *obs.Counter
 }
 
 // trackedSet is one itemset whose running frequency the stream maintains
@@ -59,11 +69,18 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 	}
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
+	rec := opts.Recorder
 	s := &Stream{
 		opts: opts,
 		st:   st,
 		repo: cache.NewRepo(opts.CacheBytes),
+		// The stream root span stays open for the explainer's lifetime;
+		// trace dumps report it in-flight with its running duration.
+		root:      rec.StartSpan(obs.StageStream),
+		tupleHist: rec.Histogram(obs.HistExplainTuple),
+		doneCtr:   rec.Counter(obs.CounterTuplesDone),
 	}
+	s.repo.SetHooks(cacheHooks(rec))
 	// Anchor's coverage sample grows with the stream: the engine holds a
 	// reference to the slice header, so rebuild the engine lazily instead.
 	// Simpler: give Anchor the window slice at first mine; coverage of a
@@ -82,8 +99,9 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 	}
 	if opts.Explainer == Anchor {
 		s.sh = anchor.NewShared(s.eng.cls.NumClasses(), opts.CacheBytes)
+		s.sh.Repo.SetHooks(cacheHooks(rec))
 	} else {
-		s.pool = newItemsetPool(s.repo, nil)
+		s.pool = newItemsetPool(s.repo, nil, rec)
 	}
 	return s, nil
 }
@@ -137,10 +155,14 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 		s.pool.beginTuple()
 		pl = s.pool
 	}
+	explainStart := time.Now()
 	exp, err := s.eng.explain(t, pl, s.sh)
+	s.explainTime += time.Since(explainStart)
 	if err != nil {
 		return Explanation{}, err
 	}
+	s.tupleHist.Observe(time.Since(explainStart))
+	s.doneCtr.Inc()
 	s.tuples++
 	return exp, nil
 }
@@ -149,6 +171,9 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 // window, materialises newly frequent itemsets, evicts ones that fell out
 // of fashion, and resets the window.
 func (s *Stream) remine() {
+	remineSpan := s.root.Child(obs.StageRemine)
+	defer remineSpan.End()
+	mineSpan := remineSpan.Child(obs.StageMine)
 	mineStart := time.Now()
 	res, err := fim.Mine(s.window, fim.Config{
 		MinSupport:  effectiveSupport(s.opts.MinSupport, len(s.window)),
@@ -157,11 +182,14 @@ func (s *Stream) remine() {
 		MaxPerLevel: 4 * s.opts.MaxItemsets,
 	})
 	s.overhead += time.Since(mineStart)
+	s.mineTime += time.Since(mineStart)
+	mineSpan.End()
 	if err != nil {
 		// Config is validated at construction; mining over a non-empty
 		// window cannot fail. Keep the old state if it somehow does.
 		return
 	}
+	mineSpan.SetAttr("frequent_itemsets", len(res.Frequent))
 	frequent := res.Frequent
 	if len(frequent) > s.maxPooled {
 		frequent = frequent[:s.maxPooled]
@@ -186,6 +214,8 @@ func (s *Stream) remine() {
 
 	// Materialise newly frequent itemsets and rebuild the tracked list
 	// (frequent itemsets + negative border).
+	poolSpan := remineSpan.Child(obs.StagePoolBuild)
+	preLabelSpan := poolSpan.Child(obs.StagePreLabel)
 	s.tracked = s.tracked[:0]
 	var sets []dataset.Itemset
 	for _, m := range frequent {
@@ -195,6 +225,8 @@ func (s *Stream) remine() {
 		sets = append(sets, m.Set)
 		s.tracked = append(s.tracked, &trackedSet{set: m.Set, frequent: true})
 	}
+	preLabelSpan.End()
+	poolSpan.End()
 	if *s.opts.StreamBorder {
 		// Track only the most promising border itemsets (the mined border
 		// is sorted by support within each length); an unbounded border
@@ -221,6 +253,14 @@ func (s *Stream) remine() {
 // storing them in the active repository (and, for Anchor, seeding the
 // invariant cache). support < 0 means unknown (border promotion).
 func (s *Stream) materialize(set dataset.Itemset, support float64) {
+	poolStart := time.Now()
+	inv0 := s.eng.invocations()
+	defer func() {
+		s.poolTime += time.Since(poolStart)
+		delta := s.eng.invocations() - inv0
+		s.poolInv += delta
+		s.opts.Recorder.Counter(obs.CounterPoolInvocations).Add(delta)
+	}()
 	tau := s.opts.Tau
 	if s.sh != nil {
 		rr, _ := s.sh.Inv.Lookup(set.Key())
@@ -247,16 +287,19 @@ func (s *Stream) materialize(set dataset.Itemset, support float64) {
 		}
 		s.repo.Put(set.Key(), samples)
 	}
-	s.poolInv = s.eng.invocations()
 }
 
 // Report returns a snapshot of the stream's accumulated cost accounting.
 func (s *Stream) Report() Report {
 	rep := Report{
-		Tuples:       s.tuples,
-		WallTime:     s.wall,
-		OverheadTime: s.overhead,
-		Invocations:  s.eng.invocations(),
+		Tuples:          s.tuples,
+		WallTime:        s.wall,
+		OverheadTime:    s.overhead,
+		MineTime:        s.mineTime,
+		PoolTime:        s.poolTime,
+		ExplainTime:     s.explainTime,
+		Invocations:     s.eng.invocations(),
+		PoolInvocations: s.poolInv,
 	}
 	if s.pool != nil {
 		rep.OverheadTime += s.pool.retrieval

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	rec := NewRecorder()
+	rec.Counter(CounterTuplesDone).Add(5)
+	rec.Gauge(GaugeTuplesTotal).Set(10)
+	rec.Histogram(HistPredict).Observe(20 * time.Microsecond)
+	span := rec.StartSpan(StageBatch)
+	span.Child(StageMine).End()
+	span.End()
+
+	srv, err := Serve("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	base := "http://" + srv.Addr()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	var m Metrics
+	if err := json.Unmarshal(get("/metrics"), &m); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if m.Counters[CounterTuplesDone] != 5 || m.Histograms[HistPredict].Count != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+
+	var p Progress
+	if err := json.Unmarshal(get("/progress"), &p); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if p.TuplesDone != 5 || p.TuplesTotal != 10 {
+		t.Fatalf("progress %+v", p)
+	}
+
+	var tf struct {
+		Spans []*SpanDump `json:"spans"`
+	}
+	if err := json.Unmarshal(get("/trace"), &tf); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(tf.Spans) != 1 || tf.Spans[0].Name != StageBatch {
+		t.Fatalf("trace %+v", tf.Spans)
+	}
+
+	get("/")             // index
+	get("/debug/pprof/") // pprof index
+	if resp, err := http.Get(base + "/nope"); err == nil {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("/nope status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestServeNilRecorder(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve(nil) should fail")
+	}
+}
+
+func TestServerNilSafety(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatal("nil server address")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", NewRecorder()); err == nil {
+		t.Fatal("bad address should fail")
+	}
+}
+
+func ExampleServe() {
+	rec := NewRecorder()
+	srv, err := Serve("127.0.0.1:0", rec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+	fmt.Println(srv.Addr() != "")
+	// Output: true
+}

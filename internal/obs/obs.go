@@ -1,0 +1,292 @@
+// Package obs is the observability substrate of the explanation
+// pipeline: stage-scoped spans with nested timings, an atomic
+// counter/gauge registry, log-scale latency histograms, and an opt-in
+// HTTP endpoint serving /metrics, /progress, /trace, and /debug/pprof.
+// It is stdlib-only and safe for concurrent use.
+//
+// Everything is nil-receiver-safe: a nil *Recorder — and the nil
+// *Counter, *Gauge, *Histogram, and *Span values it hands out — turns
+// the entire instrumentation surface into no-ops, so pipeline code
+// instruments unconditionally and a run without a recorder pays nothing
+// beyond a nil check.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span names the pipeline emits. Batch runs produce a "batch" root with
+// "mine", "pool-build" (nesting "pre-label"), and "explain" children;
+// streaming runs produce a long-lived "stream" root that grows one
+// "re-mine" child per itemset recomputation.
+const (
+	StageBatch      = "batch"
+	StageStream     = "stream"
+	StageSequential = "sequential"
+	StageGreedy     = "greedy"
+	StageMine       = "mine"
+	StagePoolBuild  = "pool-build"
+	StagePreLabel   = "pre-label"
+	StageExplain    = "explain"
+	StageRemine     = "re-mine"
+)
+
+// Well-known metric names. The pipeline maintains these; Progress reads
+// them back to answer /progress.
+const (
+	// CounterTuplesDone counts explanations completed so far.
+	CounterTuplesDone = "tuples_done"
+	// CounterInvocations counts classifier Predict calls, including
+	// pool pre-labelling.
+	CounterInvocations = "classifier_invocations"
+	// CounterPoolInvocations counts the Predict calls spent labelling
+	// pooled perturbations up front.
+	CounterPoolInvocations = "pool_invocations"
+	// CounterReusedSamples counts pooled samples served in place of
+	// fresh classifier calls.
+	CounterReusedSamples = "reused_samples"
+	// CounterCacheHits / Misses / Evictions mirror the perturbation
+	// repository's activity.
+	CounterCacheHits      = "cache_hits"
+	CounterCacheMisses    = "cache_misses"
+	CounterCacheEvictions = "cache_evictions"
+	// GaugeTuplesTotal is the batch size when known up front (0 for an
+	// unbounded stream).
+	GaugeTuplesTotal = "tuples_total"
+	// HistPredict is the latency distribution of classifier Predict
+	// calls; HistExplainTuple the per-tuple explanation times.
+	HistPredict      = "predict_ns"
+	HistExplainTuple = "explain_tuple_ns"
+)
+
+// Recorder collects spans, counters, gauges, and histograms from a run
+// (or several runs — counters accumulate). All methods are safe for
+// concurrent use and safe on a nil receiver.
+type Recorder struct {
+	start time.Time
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    []*Span
+}
+
+// NewRecorder returns an empty recorder; its uptime clock starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (whose methods no-op) on a nil receiver. Resolve once outside hot
+// loops: the lookup takes a read lock.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe
+// like Counter.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil-safe like Counter.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metrics is a point-in-time JSON-friendly snapshot of every registered
+// counter, gauge, and histogram.
+type Metrics struct {
+	UptimeMS   float64                      `json:"uptime_ms"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Metrics snapshots the registry (zero value on a nil receiver).
+func (r *Recorder) Metrics() Metrics {
+	m := Metrics{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return m
+	}
+	m.UptimeMS = float64(time.Since(r.start)) / float64(time.Millisecond)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		m.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		m.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		m.Histograms[name] = h.Snapshot()
+	}
+	return m
+}
+
+// Progress is the live view of a run: how far along it is and how well
+// reuse is working. TuplesTotal is 0 when the workload is unbounded
+// (streaming).
+type Progress struct {
+	TuplesDone     int64   `json:"tuples_done"`
+	TuplesTotal    int64   `json:"tuples_total"`
+	Invocations    int64   `json:"invocations"`
+	ReusedSamples  int64   `json:"reused_samples"`
+	ReuseRate      float64 `json:"reuse_rate"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	UptimeMS       float64 `json:"uptime_ms"`
+}
+
+// Progress reads the well-known counters back into a Progress snapshot
+// (zero value on a nil receiver).
+func (r *Recorder) Progress() Progress {
+	if r == nil {
+		return Progress{}
+	}
+	p := Progress{
+		TuplesDone:     r.Counter(CounterTuplesDone).Value(),
+		TuplesTotal:    r.Gauge(GaugeTuplesTotal).Value(),
+		Invocations:    r.Counter(CounterInvocations).Value(),
+		ReusedSamples:  r.Counter(CounterReusedSamples).Value(),
+		CacheHits:      r.Counter(CounterCacheHits).Value(),
+		CacheMisses:    r.Counter(CounterCacheMisses).Value(),
+		CacheEvictions: r.Counter(CounterCacheEvictions).Value(),
+		UptimeMS:       float64(time.Since(r.start)) / float64(time.Millisecond),
+	}
+	if total := p.ReusedSamples + p.Invocations; total > 0 {
+		p.ReuseRate = float64(p.ReusedSamples) / float64(total)
+	}
+	return p
+}
+
+// FormatStageTotals renders a StageTotals map as a single line, longest
+// stage first ("explain 2.1s · pre-label 340ms · mine 12ms").
+func FormatStageTotals(totals map[string]time.Duration) string {
+	if len(totals) == 0 {
+		return "(no spans recorded)"
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s %s", name, totals[name].Round(time.Microsecond))
+	}
+	return strings.Join(parts, " · ")
+}

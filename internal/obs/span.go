@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a run. Spans nest: Child starts a
+// sub-stage under the receiver. A span is open until End is called;
+// Duration of an open span reads the running clock. All methods are
+// safe for concurrent use and no-ops on a nil receiver, so a pipeline
+// stage can be instrumented whether or not a recorder is attached.
+type Span struct {
+	name  string
+	start time.Time
+	epoch time.Time // recorder start; anchors relative dump times
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    map[string]any
+	children []*Span
+}
+
+// StartSpan opens a root span. Returns nil (whose methods no-op) on a
+// nil receiver.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now(), epoch: r.start}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Child opens a nested span under s. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), epoch: s.epoch}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span (idempotent) and returns its duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	return s.dur
+}
+
+// Duration returns the span's length: final if ended, running so far if
+// still open (0 on a nil receiver).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SetAttr attaches a key/value annotation (itemset counts, batch sizes)
+// to the span. Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SpanDump is the JSON shape of one span in a trace dump. Times are
+// milliseconds; StartMS is relative to the recorder's start.
+type SpanDump struct {
+	Name     string         `json:"name"`
+	StartMS  float64        `json:"start_ms"`
+	DurMS    float64        `json:"dur_ms"`
+	InFlight bool           `json:"in_flight,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanDump    `json:"children,omitempty"`
+}
+
+// dump snapshots the span subtree. Lock order is strictly parent before
+// child, so recursion cannot deadlock.
+func (s *Span) dump() *SpanDump {
+	s.mu.Lock()
+	d := &SpanDump{
+		Name:    s.name,
+		StartMS: float64(s.start.Sub(s.epoch)) / float64(time.Millisecond),
+	}
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+		d.InFlight = true
+	}
+	d.DurMS = float64(dur) / float64(time.Millisecond)
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			d.Attrs[k] = v
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.dump())
+	}
+	return d
+}
+
+// Trace snapshots every root span recorded so far (nil on a nil
+// receiver).
+func (r *Recorder) Trace() []*SpanDump {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	roots := make([]*Span, len(r.spans))
+	copy(roots, r.spans)
+	r.mu.RUnlock()
+	out := make([]*SpanDump, len(roots))
+	for i, s := range roots {
+		out[i] = s.dump()
+	}
+	return out
+}
+
+// traceFile is the envelope WriteTrace emits.
+type traceFile struct {
+	UptimeMS float64     `json:"uptime_ms"`
+	Spans    []*SpanDump `json:"spans"`
+}
+
+// WriteTrace writes the span dump as indented JSON. A nil recorder
+// writes an empty trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	tf := traceFile{Spans: r.Trace()}
+	if tf.Spans == nil {
+		tf.Spans = []*SpanDump{}
+	}
+	if r != nil {
+		tf.UptimeMS = float64(time.Since(r.start)) / float64(time.Millisecond)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tf)
+}
+
+// StageTotals sums span durations by name across the whole recorded
+// forest: the per-stage wall-time breakdown of everything run under
+// this recorder. Open spans contribute their running duration.
+func (r *Recorder) StageTotals() map[string]time.Duration {
+	if r == nil {
+		return nil
+	}
+	totals := make(map[string]time.Duration)
+	var walk func(d *SpanDump)
+	walk = func(d *SpanDump) {
+		totals[d.Name] += time.Duration(d.DurMS * float64(time.Millisecond))
+		for _, c := range d.Children {
+			walk(c)
+		}
+	}
+	for _, root := range r.Trace() {
+		walk(root)
+	}
+	return totals
+}

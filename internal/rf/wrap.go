@@ -11,10 +11,18 @@ import (
 type Counting struct {
 	inner Classifier
 	n     atomic.Int64
+	hook  func(time.Duration)
 }
 
 // NewCounting wraps c.
 func NewCounting(c Classifier) *Counting { return &Counting{inner: c} }
+
+// SetPredictHook installs fn to receive the latency of every Predict
+// call (the observability recorder feeds its invocation counter and
+// latency histogram this way). A nil hook — the default — skips the
+// timing entirely. Install before the classifier is shared across
+// goroutines; the hook itself must be goroutine-safe.
+func (c *Counting) SetPredictHook(fn func(time.Duration)) { c.hook = fn }
 
 // NumClasses implements Classifier.
 func (c *Counting) NumClasses() int { return c.inner.NumClasses() }
@@ -22,6 +30,12 @@ func (c *Counting) NumClasses() int { return c.inner.NumClasses() }
 // Predict implements Classifier, incrementing the invocation counter.
 func (c *Counting) Predict(x []float64) int {
 	c.n.Add(1)
+	if hook := c.hook; hook != nil {
+		start := time.Now()
+		y := c.inner.Predict(x)
+		hook(time.Since(start))
+		return y
+	}
 	return c.inner.Predict(x)
 }
 

@@ -46,6 +46,7 @@ import (
 	"shahin/internal/explain/sshap"
 	"shahin/internal/gbt"
 	"shahin/internal/nb"
+	"shahin/internal/obs"
 	"shahin/internal/rf"
 	"shahin/internal/store"
 )
@@ -142,6 +143,32 @@ type (
 	// base-rate samples).
 	SSHAPConfig = sshap.Config
 )
+
+// Observability: set Options.Recorder to collect stage-scoped spans,
+// live progress counters, and latency histograms from a run, and
+// optionally serve them over HTTP while the run is in flight.
+type (
+	// Recorder collects spans, counters, and histograms; nil disables
+	// all instrumentation at zero cost.
+	Recorder = obs.Recorder
+	// MetricsServer serves a Recorder's /metrics, /progress, /trace, and
+	// /debug/pprof endpoints.
+	MetricsServer = obs.Server
+	// RecorderMetrics is the /metrics JSON snapshot shape.
+	RecorderMetrics = obs.Metrics
+	// RecorderProgress is the /progress JSON snapshot shape.
+	RecorderProgress = obs.Progress
+)
+
+// NewRecorder returns an empty observability recorder; pass it via
+// Options.Recorder (it may be shared across runs — counters accumulate).
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// ServeMetrics serves rec on addr (":0" picks a free port; see
+// MetricsServer.Addr) until the returned server is closed.
+func ServeMetrics(addr string, rec *Recorder) (*MetricsServer, error) {
+	return obs.Serve(addr, rec)
+}
 
 // Kind selects the explanation algorithm.
 type Kind = core.Kind
