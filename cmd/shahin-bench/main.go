@@ -87,7 +87,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "shahin-bench:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer srv.Close() //shahinvet:allow errcheck — best-effort teardown at exit
 		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
 	}
 
@@ -120,7 +120,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shahin-bench: unknown experiment %q (use -list)\n", id)
 			os.Exit(1)
 		}
-		start := time.Now()
+		start := time.Now() //shahinvet:allow walltime — experiment wall time shown to the user
 		tab, err := e.run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shahin-bench: %s: %v\n", id, err)
@@ -142,7 +142,7 @@ func main() {
 			os.Exit(1)
 		}
 		if err := rec.WriteTrace(f); err != nil {
-			f.Close()
+			f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
 			fmt.Fprintln(os.Stderr, "shahin-bench: writing trace:", err)
 			os.Exit(1)
 		}

@@ -34,11 +34,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := shahin.WriteCSV(w, d); err != nil {
 		fatal(err)
+	}
+	if w != os.Stdout {
+		// A failed close can lose buffered rows (e.g. ENOSPC); surface it.
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d rows of %s (%d attributes)\n", d.NumRows(), *name, d.NumAttrs())
 }

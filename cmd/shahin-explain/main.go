@@ -49,7 +49,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		defer srv.Close() //shahinvet:allow errcheck — best-effort teardown at exit
 		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
 	}
 
@@ -135,7 +135,7 @@ func writeTrace(rec *shahin.Recorder, path string) error {
 		return err
 	}
 	if err := rec.WriteTrace(f); err != nil {
-		f.Close()
+		f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
 		return err
 	}
 	return f.Close()
@@ -168,7 +168,7 @@ func loadData(name, path string, rows int, seed int64) (*shahin.Dataset, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //shahinvet:allow errcheck — read-only close cannot lose data
 	return shahin.ReadCSV(f, cfg.Schema())
 }
 

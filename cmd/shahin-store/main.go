@@ -43,7 +43,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		defer srv.Close() //shahinvet:allow errcheck — best-effort teardown at exit
 		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
 	}
 
@@ -89,8 +89,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := st.Save(f); err != nil {
+			f.Close() //shahinvet:allow errcheck — close error is secondary; the save error wins
+			fatal(err)
+		}
+		// A failed close can lose buffered store bytes (e.g. ENOSPC).
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s\nstore -> %s\n", res.Report.String(), *out)
@@ -100,7 +104,7 @@ func main() {
 				fatal(err)
 			}
 			if err := rec.WriteTrace(tf); err != nil {
-				tf.Close()
+				tf.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
 				fatal(err)
 			}
 			if err := tf.Close(); err != nil {
@@ -114,7 +118,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //shahinvet:allow errcheck — read-only close cannot lose data
 		st, err := shahin.LoadExplanationStore(f)
 		if err != nil {
 			fatal(err)

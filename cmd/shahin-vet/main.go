@@ -1,0 +1,22 @@
+// Command shahin-vet runs the project's static-analysis suite: five
+// analyzers enforcing the determinism, error-handling, and
+// nil-recorder invariants the reproduction depends on (see
+// internal/analysis). It prints go-vet-style diagnostics (or JSON with
+// -json) and exits non-zero when anything is flagged:
+//
+//	go run ./cmd/shahin-vet ./...
+//	go run ./cmd/shahin-vet -json ./internal/...
+//	go run ./cmd/shahin-vet -run walltime,maporder ./internal/core
+//
+// Findings are suppressed per line with //shahinvet:allow <analyzer>.
+package main
+
+import (
+	"os"
+
+	"shahin/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Check loads the packages matching patterns under the module rooted
+// at dir and runs the given analyzers (nil means the full suite) over
+// each, returning all surviving findings sorted by position.
+func Check(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	modPath, err := ReadModulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(dir, modPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if analyzers == nil {
+		analyzers = All()
+	}
+	paths, err := loader.Packages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, RunPackage(pkg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// Main is the shahin-vet entry point. It returns the process exit
+// code: 0 clean, 1 findings, 2 usage or load errors.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shahin-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	dir := fs.String("dir", ".", "module root to analyze")
+	run := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: shahin-vet [flags] [packages]\n\n"+
+			"Runs shahin's project-specific analyzers over the module.\n"+
+			"Patterns follow go tool conventions (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, an := range All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", an.Name, an.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(stderr, "shahin-vet:", err)
+		return 2
+	}
+	diags, err := Check(*dir, fs.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "shahin-vet:", err)
+		return 2
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "shahin-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves a comma-separated -run list against the
+// suite; the empty string selects everything.
+func selectAnalyzers(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, an := range All() {
+		byName[an.Name] = an
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		an, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, analyzerNames())
+		}
+		out = append(out, an)
+	}
+	return out, nil
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, an := range All() {
+		names = append(names, an.Name)
+	}
+	return strings.Join(names, ", ")
+}

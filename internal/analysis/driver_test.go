@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMainJSONAndExit drives the CLI entry point over the fixture tree
+// (which has deliberate violations) and over bogus flags, pinning the
+// exit-code contract and the -json output shape.
+func TestMainJSONAndExit(t *testing.T) {
+	fixtures := filepath.Join("testdata", "src")
+
+	var out, errBuf bytes.Buffer
+	code := Main([]string{"-dir", fixtures, "-json", "./..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("Main over violating fixtures: exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output is empty despite non-zero exit")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		return diags[i].Line < diags[j].Line
+	}) {
+		t.Error("diagnostics are not sorted by file and line")
+	}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		seen[d.Analyzer] = true
+	}
+	for _, an := range All() {
+		if !seen[an.Name] {
+			t.Errorf("full run over fixtures produced no %s findings", an.Name)
+		}
+	}
+
+	// Text mode agrees with JSON mode on the finding count.
+	out.Reset()
+	if code := Main([]string{"-dir", fixtures, "./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("text-mode exit %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(diags) {
+		t.Errorf("text mode printed %d findings, JSON had %d", len(lines), len(diags))
+	}
+
+	// -run selects a subset.
+	out.Reset()
+	if code := Main([]string{"-dir", fixtures, "-run", "walltime", "-json", "./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("-run walltime exit %d, want 1", code)
+	}
+	var subset []Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &subset); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range subset {
+		if d.Analyzer != "walltime" {
+			t.Errorf("-run walltime leaked a %s finding", d.Analyzer)
+		}
+	}
+
+	// Usage and load errors exit 2.
+	if code := Main([]string{"-run", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code := Main([]string{"-dir", filepath.Join("testdata", "nosuch")}, &out, &errBuf); code != 2 {
+		t.Errorf("missing module: exit %d, want 2", code)
+	}
+
+	// -list exits 0 and names every analyzer.
+	out.Reset()
+	if code := Main([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Errorf("-list exit %d, want 0", code)
+	}
+	for _, an := range All() {
+		if !strings.Contains(out.String(), an.Name) {
+			t.Errorf("-list output missing %s", an.Name)
+		}
+	}
+}
+
+// TestPatternExpansion pins the package-pattern grammar against the
+// fixture tree.
+func TestPatternExpansion(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("testdata", "src"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := loader.Packages([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"detrand", "errcheck", "maporder", "obs", "walltime"} {
+		found := false
+		for _, p := range all {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("./... missed fixture package %s (got %v)", want, all)
+		}
+	}
+	one, err := loader.Packages([]string{"./obs"})
+	if err != nil || len(one) != 1 || one[0] != "obs" {
+		t.Errorf("./obs -> (%v, %v), want exactly [obs]", one, err)
+	}
+	if _, err := loader.Packages([]string{"./nosuch"}); err == nil {
+		t.Error("pattern matching a missing package should fail")
+	}
+}

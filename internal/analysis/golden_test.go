@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one package under testdata/src in fixture
+// mode (every import resolves as standard library).
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", "src"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`want "([^"]*)"`)
+
+// parseWants extracts the expected-diagnostic comments: every
+// `want "substring"` marker, keyed by file and line.
+func parseWants(pkg *Package) map[string][]string {
+	wants := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pkg.relFile(pos.Filename), pos.Line)
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzersGolden runs each analyzer over its fixture package and
+// requires an exact match against the want-comments: every expected
+// diagnostic fires (so weakening an analyzer fails the test) and
+// nothing unexpected or suppressed leaks through.
+func TestAnalyzersGolden(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer *Analyzer
+	}{
+		{"detrand", DetRand},
+		{"maporder", MapOrder},
+		{"walltime", WallTime},
+		{"errcheck", ErrCheck},
+		{"obs", NilRecv},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			diags := RunPackage(pkg, []*Analyzer{tc.analyzer})
+			wants := parseWants(pkg)
+
+			matched := make(map[string]int)
+			for _, d := range diags {
+				key := fmt.Sprintf("%s:%d", d.File, d.Line)
+				ok := false
+				for _, w := range wants[key] {
+					if strings.Contains(d.Analyzer+": "+d.Message, w) {
+						ok = true
+						matched[key]++
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for key, ws := range wants {
+				if matched[key] < len(ws) {
+					t.Errorf("%s: expected diagnostic matching %q did not fire", key, ws)
+				}
+			}
+			if len(diags) == 0 {
+				t.Errorf("fixture %s produced no diagnostics at all; detection logic gutted?", tc.fixture)
+			}
+		})
+	}
+}
+
+// TestDirectiveParsing pins the suppression comment grammar.
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//shahinvet:allow walltime", []string{"walltime"}},
+		{"// shahinvet:allow walltime — stage timing", []string{"walltime"}},
+		{"//shahinvet:allow errcheck, walltime — trailing reason", []string{"errcheck", "walltime"}},
+		{"//shahinvet:allowwalltime", nil},
+		{"//shahinvet:allow", nil},
+		{"// a normal comment", nil},
+		{"//shahinvet:allow Weird42 walltime", nil}, // names stop at first non-name token
+	}
+	for _, tc := range cases {
+		names, ok := parseDirective(tc.text)
+		if !ok {
+			if len(tc.want) != 0 {
+				t.Errorf("parseDirective(%q) = not a directive, want %v", tc.text, tc.want)
+			}
+			continue
+		}
+		if len(names) != len(tc.want) {
+			t.Errorf("parseDirective(%q) = %v, want %v", tc.text, names, tc.want)
+			continue
+		}
+		for _, w := range tc.want {
+			if !names[w] {
+				t.Errorf("parseDirective(%q) missing %q", tc.text, w)
+			}
+		}
+	}
+}

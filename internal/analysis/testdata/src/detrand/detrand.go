@@ -1,0 +1,42 @@
+// Package detrand is a fixture for the detrand analyzer: global-RNG
+// calls and clock-seeded sources must be flagged, explicit seeding and
+// threaded generators must not.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalInt() int {
+	return rand.Intn(10) // want "global RNG"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global RNG"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global RNG"
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "wall clock"
+}
+
+func fixedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seed
+}
+
+func threaded(r *rand.Rand) int {
+	return r.Intn(10) // ok: method on a threaded generator
+}
+
+func suppressed() int {
+	return rand.Intn(10) //shahinvet:allow detrand — fixture exercises suppression
+}
+
+func suppressedAbove() int {
+	//shahinvet:allow detrand — directive on the line above also works
+	return rand.Int()
+}

@@ -1,0 +1,55 @@
+// Package errcheck is a fixture for the errcheck analyzer: silently
+// discarded error returns must be flagged; handled, blank-assigned,
+// fmt, and in-memory-writer calls must not.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func discarded(f *os.File) {
+	f.Close() // want "error result is discarded"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "error result is discarded"
+}
+
+func goroutine(f *os.File) {
+	go f.Sync() // want "error result is discarded"
+}
+
+func viaFuncValue(fn func() error) {
+	fn() // want "error result is discarded"
+}
+
+func handled(f *os.File) error {
+	return f.Close() // ok: propagated
+}
+
+func blankAssigned(f *os.File) {
+	_ = f.Close() // ok: the discard is explicit and visible in review
+}
+
+func fmtExempt(w *os.File) {
+	fmt.Println("hello")        // ok: fmt printers are exempt
+	fmt.Fprintf(w, "x=%d\n", 1) // ok
+}
+
+func inMemoryExempt(b *strings.Builder, buf *bytes.Buffer) {
+	b.WriteString("x") // ok: strings.Builder never fails
+	buf.WriteByte('y') // ok: bytes.Buffer never fails
+}
+
+func noError() {
+	noErrorResult() // ok: no error to lose
+}
+
+func noErrorResult() int { return 0 }
+
+func suppressed(f *os.File) {
+	f.Close() //shahinvet:allow errcheck — fixture exercises suppression
+}

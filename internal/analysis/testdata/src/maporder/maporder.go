@@ -1,0 +1,65 @@
+// Package maporder is a fixture for the maporder analyzer: output
+// built in map-iteration order must be flagged unless it is visibly
+// sorted afterwards, local to an iteration, or annotated.
+package maporder
+
+import "sort"
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map-iteration order"
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // ok: sorted below
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedViaHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // ok: sortish helper below
+	}
+	sortAndDedupe(out)
+	return out
+}
+
+func sortAndDedupe(xs []string) { sort.Strings(xs) }
+
+func concatenated(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "map-iteration order"
+	}
+	return s
+}
+
+func commutativeSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer sum is order-independent
+	}
+	return n
+}
+
+func perIterationLocal(m map[string][]int, out map[string][]int) {
+	for k, vs := range m {
+		row := append([]int(nil), vs...) // ok: local to the iteration
+		out[k] = row
+	}
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //shahinvet:allow maporder — fixture exercises suppression
+	}
+	return out
+}

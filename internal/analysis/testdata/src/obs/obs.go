@@ -1,0 +1,55 @@
+// Package obs is a fixture for the nilrecv analyzer, which applies to
+// packages named obs: exported pointer-receiver methods must compare
+// the receiver against nil before touching its fields.
+package obs
+
+// Counter mimics the real obs counter shape.
+type Counter struct{ n int64 }
+
+// BadLateGuard reads a field before the guard.
+func (c *Counter) BadLateGuard() int64 { // want "nil guard"
+	v := c.n
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// BadUnguarded never checks at all.
+func (c *Counter) BadUnguarded() { c.n++ } // want "nil guard"
+
+// BadFieldInCondition dereferences inside the guard itself.
+func (c *Counter) BadFieldInCondition() bool { // want "nil guard"
+	return c.n == 0 || c == nil
+}
+
+// Guarded is the documented pattern.
+func (c *Counter) Guarded() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// GuardedPositively wraps the work in a non-nil check.
+func (c *Counter) GuardedPositively(n int64) {
+	if c != nil {
+		c.n += n
+	}
+}
+
+// Delegating calls a guarded method: legal on nil pointers, no field
+// access, so no guard is required.
+func (c *Counter) Delegating() { c.GuardedPositively(1) }
+
+// unexported methods are internal plumbing and out of scope.
+func (c *Counter) unexported() int64 { return c.n }
+
+// Plain has a value receiver, which cannot be a nil pointer.
+type Plain struct{ n int }
+
+// Value is fine without a guard.
+func (p Plain) Value() int { return p.n }
+
+//shahinvet:allow nilrecv — fixture exercises suppression
+func (c *Counter) Suppressed() { c.n++ }

@@ -1,0 +1,28 @@
+// Package walltime is a fixture for the walltime analyzer: bare clock
+// reads must be flagged, annotated ones must not. (The real obs/bench
+// exemption is covered by the module self-clean test.)
+package walltime
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "obs/bench"
+}
+
+func elapsed() time.Duration {
+	start := time.Now() // want "obs/bench"
+	return time.Since(start)
+}
+
+func suppressed() time.Time {
+	return time.Now() //shahinvet:allow walltime — fixture exercises suppression
+}
+
+func suppressedAbove() time.Time {
+	//shahinvet:allow walltime — directive on the line above also works
+	return time.Now()
+}
+
+func noClock(d time.Duration) time.Duration {
+	return d * 2 // ok: duration arithmetic, no clock read
+}

@@ -43,7 +43,7 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 		return nil, fmt.Errorf("core: empty batch")
 	}
 	opts := b.opts
-	start := time.Now()
+	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	rec := opts.Recorder
@@ -56,7 +56,7 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	// Step 1 (overhead): itemise a uniform sample of the batch and mine
 	// frequent itemsets — max(1000, 1%) per the paper's heuristic.
 	mineSpan := root.Child(obs.StageMine)
-	mineStart := time.Now()
+	mineStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	sampleN := fim.SampleSize(len(tuples))
 	switch {
 	case opts.MineSample < 0:
@@ -99,7 +99,7 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	// Step 2: materialise and label τ perturbations per frequent itemset.
 	poolSpan := root.Child(obs.StagePoolBuild)
 	preLabelSpan := poolSpan.Child(obs.StagePreLabel)
-	poolStart := time.Now()
+	poolStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	var (
 		pool *itemsetPool
 		repo *cache.Repo
@@ -144,7 +144,7 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 		FrequentItemsets: len(frequent),
 	}
 	explainSpan := root.Child(obs.StageExplain)
-	explainStart := time.Now()
+	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	var (
 		tupleHist *obs.Histogram
 		doneCtr   *obs.Counter
@@ -171,7 +171,7 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 			}
 			var tupleStart time.Time
 			if tupleHist != nil {
-				tupleStart = time.Now()
+				tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 			}
 			exp, err := eng.explain(t, pl, sh)
 			if err != nil {
@@ -237,7 +237,7 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 				pools[w].beginTuple()
 				var tupleStart time.Time
 				if tupleHist != nil {
-					tupleStart = time.Now()
+					tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 				}
 				exp, err := engines[w].explain(tuples[i], pools[w], nil)
 				if err != nil {

@@ -108,10 +108,10 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 
 // Explain processes one arriving tuple and returns its explanation.
 func (s *Stream) Explain(t []float64) (Explanation, error) {
-	start := time.Now()
+	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	defer func() { s.wall += time.Since(start) }()
 
-	trackStart := time.Now()
+	trackStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	items := append(dataset.Itemset(nil), s.st.ItemizeRow(t, nil)...)
 	s.window = append(s.window, items)
 	for _, ts := range s.tracked {
@@ -155,7 +155,7 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 		s.pool.beginTuple()
 		pl = s.pool
 	}
-	explainStart := time.Now()
+	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	exp, err := s.eng.explain(t, pl, s.sh)
 	s.explainTime += time.Since(explainStart)
 	if err != nil {
@@ -174,7 +174,7 @@ func (s *Stream) remine() {
 	remineSpan := s.root.Child(obs.StageRemine)
 	defer remineSpan.End()
 	mineSpan := remineSpan.Child(obs.StageMine)
-	mineStart := time.Now()
+	mineStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	res, err := fim.Mine(s.window, fim.Config{
 		MinSupport:  effectiveSupport(s.opts.MinSupport, len(s.window)),
 		MaxLen:      s.opts.MaxItemsetLen,
@@ -253,7 +253,7 @@ func (s *Stream) remine() {
 // storing them in the active repository (and, for Anchor, seeding the
 // invariant cache). support < 0 means unknown (border promotion).
 func (s *Stream) materialize(set dataset.Itemset, support float64) {
-	poolStart := time.Now()
+	poolStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	inv0 := s.eng.invocations()
 	defer func() {
 		s.poolTime += time.Since(poolStart)

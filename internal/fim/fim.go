@@ -196,12 +196,20 @@ func Mine(rows []dataset.Itemset, cfg Config) (*Result, error) {
 }
 
 // trimLevel keeps the top-k nodes by support (all of them when k is 0 or
-// the level is small enough).
+// the level is small enough). Ties at the cut are broken by canonical
+// itemset order: level-1 nodes arrive in map-iteration order, and an
+// unstable count-only sort would let that order pick which equal-support
+// itemsets survive — nondeterministic mining results.
 func trimLevel(nodes []node, k int) []node {
 	if k <= 0 || len(nodes) <= k {
 		return nodes
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].cnt > nodes[j].cnt })
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].cnt != nodes[j].cnt {
+			return nodes[i].cnt > nodes[j].cnt
+		}
+		return lessItemsets(nodes[i].set, nodes[j].set)
+	})
 	return nodes[:k]
 }
 

@@ -64,7 +64,7 @@ func Serve(addr string, rec *Recorder) (*Server, error) {
 		ln:  ln,
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 	}
-	go s.srv.Serve(ln) //nolint:errcheck // always returns ErrServerClosed after Close
+	go s.srv.Serve(ln) //shahinvet:allow errcheck — always returns ErrServerClosed after Close
 	return s, nil
 }
 

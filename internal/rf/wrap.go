@@ -31,7 +31,7 @@ func (c *Counting) NumClasses() int { return c.inner.NumClasses() }
 func (c *Counting) Predict(x []float64) int {
 	c.n.Add(1)
 	if hook := c.hook; hook != nil {
-		start := time.Now()
+		start := time.Now() //shahinvet:allow walltime — predict-latency hook measurement
 		y := c.inner.Predict(x)
 		hook(time.Since(start))
 		return y
@@ -77,8 +77,8 @@ func (d *Delayed) Predict(x []float64) int {
 
 // spin busy-waits for roughly dur.
 func spin(dur time.Duration) {
-	deadline := time.Now().Add(dur)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(dur)   //shahinvet:allow walltime — busy-wait deadline for the calibrated delay
+	for time.Now().Before(deadline) { //shahinvet:allow walltime — busy-wait deadline for the calibrated delay
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"sort"
 
 	"shahin/internal/core"
 )
@@ -86,7 +87,7 @@ func hashRow(row []float64) uint64 {
 			bits = math.Float64bits(math.NaN())
 		}
 		binary.LittleEndian.PutUint64(buf[:], bits)
-		h.Write(buf[:])
+		h.Write(buf[:]) //shahinvet:allow errcheck — hash.Hash.Write never fails
 	}
 	return h.Sum64()
 }
@@ -108,13 +109,31 @@ type persisted struct {
 	Entries []entry
 }
 
-// Save serialises the store with encoding/gob.
+// Save serialises the store with encoding/gob. Entries are sorted by
+// tuple so the byte stream is identical for identical contents — map
+// iteration order must not leak into persisted artifacts.
 func (s *Store) Save(w io.Writer) error {
 	var p persisted
 	for _, chain := range s.buckets {
 		p.Entries = append(p.Entries, chain...)
 	}
+	sortEntries(p.Entries)
 	return gob.NewEncoder(w).Encode(&p)
+}
+
+// sortEntries orders entries by their tuple's IEEE-754 bit patterns
+// (cell by cell, shorter rows first), a total order even with NaNs.
+func sortEntries(entries []entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Row, entries[j].Row
+		for k := 0; k < len(a) && k < len(b); k++ {
+			ab, bb := math.Float64bits(a[k]), math.Float64bits(b[k])
+			if ab != bb {
+				return ab < bb
+			}
+		}
+		return len(a) < len(b)
+	})
 }
 
 // Load deserialises a store written by Save.
