@@ -8,11 +8,14 @@
 //	shahin-bench -exp fig2,fig6      # specific experiments
 //	shahin-bench -full               # larger workloads (minutes)
 //	shahin-bench -list               # available experiments
+//	shahin-bench -smoke -json BENCH_smoke.json   # CI artifact
+//	shahin-bench -compare BENCH_baseline.json BENCH_smoke.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -42,9 +45,11 @@ var experiments = map[string]struct {
 	"ext-approx":   {"Extension: approximation via reuse fraction", bench.ExtApproximate},
 	"ext-models":   {"Extension: speedup across classifiers", bench.ExtModels},
 	"ext-parallel": {"Extension: worker parallelism", bench.ExtParallel},
+	"smoke":        {"CI smoke: seq/batch/stream cost ledger at tiny scale", bench.Smoke},
 }
 
-// order fixes the default execution order.
+// order fixes the default execution order. The smoke experiment is a CI
+// workload, selected explicitly with -smoke or -exp smoke.
 var order = []string{
 	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 	"quality", "abl-sample", "abl-kernel", "abl-border",
@@ -53,17 +58,35 @@ var order = []string{
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		full     = flag.Bool("full", false, "larger workloads (closer to paper scale; takes minutes)")
-		rows     = flag.Int("rows", 0, "override dataset rows")
-		batch    = flag.Int("batch", 0, "override single-batch size")
-		seed     = flag.Int64("seed", 1, "master seed")
-		delay    = flag.Duration("delay", 0, "override per-invocation classifier delay")
-		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /progress, /trace and /debug/pprof on this address while experiments run (\":0\" picks a port)")
-		traceOut = flag.String("trace-out", "", "write the JSON span dump to this file when done")
+		exp         = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		full        = flag.Bool("full", false, "larger workloads (closer to paper scale; takes minutes)")
+		smoke       = flag.Bool("smoke", false, "run only the CI smoke experiment at its tiny deterministic scale")
+		rows        = flag.Int("rows", 0, "override dataset rows")
+		batch       = flag.Int("batch", 0, "override single-batch size")
+		seed        = flag.Int64("seed", 1, "master seed")
+		delay       = flag.Duration("delay", 0, "override per-invocation classifier delay")
+		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address while experiments run (\":0\" picks a port)")
+		traceOut    = flag.String("trace-out", "", "write the JSON span dump to this file when done")
+		chromeTrace = flag.String("chrome-trace", "", "write a Chrome trace-event file (load via chrome://tracing or Perfetto) when done")
+		eventsOut   = flag.String("events-out", "", "write the structured event log as JSONL to this file when done")
+		jsonOut     = flag.String("json", "", "write the run ledger (config, env, metrics, tables) to this file when done")
+		compare     = flag.Bool("compare", false, "compare two ledger files: shahin-bench -compare [-th-...] old.json new.json; exits 1 on regression")
+		thInv       = flag.Float64("th-invocations", 0, "compare: allowed fractional increase in classifier invocations (0 = counts must not grow)")
+		thWall      = flag.Float64("th-wall", 0.5, "compare: allowed fractional increase in wall time")
+		thReuse     = flag.Float64("th-reuse", 0.001, "compare: allowed absolute drop in reuse ratio")
 	)
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "shahin-bench: -compare needs exactly two ledger paths: old.json new.json")
+			os.Exit(bench.CompareMalformed)
+		}
+		th := obs.Thresholds{Invocations: *thInv, Wall: *thWall, Reuse: *thReuse}
+		os.Exit(bench.CompareFiles(os.Stdout, args[0], args[1], th))
+	}
 
 	if *list {
 		ids := make([]string, 0, len(experiments))
@@ -72,7 +95,7 @@ func main() {
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			fmt.Printf("%-11s %s\n", id, experiments[id].desc)
+			fmt.Printf("%-12s %s\n", id, experiments[id].desc)
 		}
 		return
 	}
@@ -88,10 +111,16 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close() //shahinvet:allow errcheck — best-effort teardown at exit
-		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /events, /debug/pprof/)\n", srv.Addr())
 	}
 
 	cfg := bench.Config{Seed: *seed, Recorder: rec}.Fill()
+	name := "bench"
+	if *smoke {
+		cfg = bench.SmokeConfig(*seed)
+		cfg.Recorder = rec
+		name = "smoke"
+	}
 	if *full {
 		cfg.Rows = 20000
 		cfg.Batch = 1000
@@ -110,9 +139,14 @@ func main() {
 	}
 
 	ids := order
+	if *smoke {
+		ids = []string{"smoke"}
+	}
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	}
+	runStart := time.Now() //shahinvet:allow walltime — run wall time recorded in the ledger
+	var tables []*bench.Table
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := experiments[id]
@@ -127,29 +161,50 @@ func main() {
 			os.Exit(1)
 		}
 		tab.Fprint(os.Stdout)
+		tables = append(tables, tab)
 		fmt.Printf("(%s took %v)\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	wall := time.Since(runStart)
 
 	fmt.Printf("\nper-stage totals: %s\n", obs.FormatStageTotals(rec.StageTotals()))
 	if p := rec.Progress(); p.Invocations > 0 {
 		fmt.Printf("classifier invocations: %d; %d samples reused (%.1f%% reuse)\n",
 			p.Invocations, p.ReusedSamples, 100*p.ReuseRate)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "shahin-bench:", err)
+
+	if *jsonOut != "" {
+		l := bench.BuildLedger(name, cfg, ids, tables, wall)
+		if err := bench.WriteLedgerFile(*jsonOut, l); err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-bench: writing ledger:", err)
 			os.Exit(1)
 		}
-		if err := rec.WriteTrace(f); err != nil {
-			f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
-			fmt.Fprintln(os.Stderr, "shahin-bench: writing trace:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "shahin-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("span dump written to %s\n", *traceOut)
+		fmt.Printf("run ledger written to %s\n", *jsonOut)
 	}
+	writeArtifact(*traceOut, "span dump", rec.WriteTrace)
+	writeArtifact(*chromeTrace, "chrome trace", rec.WriteChromeTrace)
+	writeArtifact(*eventsOut, "event log", rec.WriteEvents)
+}
+
+// writeArtifact dumps one observability artifact to path via write,
+// exiting non-zero on failure; empty path means the artifact was not
+// requested.
+func writeArtifact(path, what string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shahin-bench:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
+		fmt.Fprintf(os.Stderr, "shahin-bench: writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "shahin-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s written to %s\n", what, path)
 }

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,13 +36,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
 		trees     = flag.Int("trees", 50, "random forest size")
 		workers   = flag.Int("workers", 1, "parallel explanation workers (batch mode, non-Anchor)")
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace and /debug/pprof on this address during the run (\":0\" picks a port)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address during the run (\":0\" picks a port)")
 		traceOut  = flag.String("trace-out", "", "write the JSON span dump to this file when done")
+		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) when done")
+		eventsOut = flag.String("events-out", "", "write the structured event log (per-explanation provenance) as JSONL when done")
 	)
 	flag.Parse()
 
 	var rec *shahin.Recorder
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *chromeOut != "" || *eventsOut != "" {
 		rec = shahin.NewRecorder()
 	}
 	if *obsAddr != "" {
@@ -50,7 +53,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close() //shahinvet:allow errcheck — best-effort teardown at exit
-		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /events, /debug/pprof/)\n", srv.Addr())
 	}
 
 	kind, err := shahin.ParseKind(*explainer)
@@ -121,20 +124,33 @@ func main() {
 	}
 	fmt.Printf("\n%s\n", report.String())
 	if *traceOut != "" {
-		if err := writeTrace(rec, *traceOut); err != nil {
+		if err := writeArtifact(*traceOut, rec.WriteTrace); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("span dump written to %s\n", *traceOut)
 	}
+	if *chromeOut != "" {
+		if err := writeArtifact(*chromeOut, rec.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s\n", *chromeOut)
+	}
+	if *eventsOut != "" {
+		if err := writeArtifact(*eventsOut, rec.WriteEvents); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("event log written to %s\n", *eventsOut)
+	}
 }
 
-// writeTrace dumps the recorder's span tree as JSON.
-func writeTrace(rec *shahin.Recorder, path string) error {
+// writeArtifact dumps one recorder artifact (span tree, chrome trace,
+// event log) to path.
+func writeArtifact(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := rec.WriteTrace(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
 		return err
 	}

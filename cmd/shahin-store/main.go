@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,13 +30,14 @@ func main() {
 		storePath = flag.String("store", "explanations.gob", "store path (lookup mode)")
 		tupleIdx  = flag.Int("tuple", 0, "held-out tuple index to look up (lookup mode)")
 		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace and /debug/pprof on this address during the build (\":0\" picks a port)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address during the build (\":0\" picks a port)")
 		traceOut  = flag.String("trace-out", "", "write the JSON span dump to this file when the build finishes")
+		eventsOut = flag.String("events-out", "", "write the structured event log (per-explanation provenance) as JSONL when the build finishes")
 	)
 	flag.Parse()
 
 	var rec *shahin.Recorder
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *eventsOut != "" {
 		rec = shahin.NewRecorder()
 	}
 	if *obsAddr != "" {
@@ -44,7 +46,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close() //shahinvet:allow errcheck — best-effort teardown at exit
-		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /events, /debug/pprof/)\n", srv.Addr())
 	}
 
 	kind, err := shahin.ParseKind(*explainer)
@@ -99,18 +101,16 @@ func main() {
 		}
 		fmt.Printf("%s\nstore -> %s\n", res.Report.String(), *out)
 		if *traceOut != "" {
-			tf, err := os.Create(*traceOut)
-			if err != nil {
-				fatal(err)
-			}
-			if err := rec.WriteTrace(tf); err != nil {
-				tf.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
-				fatal(err)
-			}
-			if err := tf.Close(); err != nil {
+			if err := writeArtifact(*traceOut, rec.WriteTrace); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("span dump written to %s\n", *traceOut)
+		}
+		if *eventsOut != "" {
+			if err := writeArtifact(*eventsOut, rec.WriteEvents); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("event log written to %s\n", *eventsOut)
 		}
 
 	case "lookup":
@@ -145,6 +145,20 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want build or lookup)", *mode))
 	}
+}
+
+// writeArtifact dumps one recorder artifact (span tree, event log) to
+// path.
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"shahin/internal/core"
+	"shahin/internal/obs"
+)
+
+// configJSON is the serializable view of a Config embedded in every run
+// ledger (the Recorder itself is runtime state, not configuration).
+type configJSON struct {
+	Rows        int      `json:"rows"`
+	Batch       int      `json:"batch"`
+	Batches     []int    `json:"batches"`
+	Trees       int      `json:"trees"`
+	DelayNS     int64    `json:"delay_ns"`
+	Delay       string   `json:"delay"`
+	Seed        int64    `json:"seed"`
+	LIMESamples int      `json:"lime_samples"`
+	SHAPSamples int      `json:"shap_samples"`
+	Tau         int      `json:"tau"`
+	Experiments []string `json:"experiments,omitempty"`
+}
+
+// ledgerView converts the config (post-Fill) to its ledger form.
+func (c Config) ledgerView(experiments []string) configJSON {
+	return configJSON{
+		Rows:        c.Rows,
+		Batch:       c.Batch,
+		Batches:     c.Batches,
+		Trees:       c.Trees,
+		DelayNS:     c.Delay.Nanoseconds(),
+		Delay:       c.Delay.String(),
+		Seed:        c.Seed,
+		LIMESamples: c.LIMESamples,
+		SHAPSamples: c.SHAPSamples,
+		Tau:         c.Tau,
+		Experiments: experiments,
+	}
+}
+
+// BuildLedger assembles the persistent run artifact of a bench
+// invocation: the recorder's metric snapshot, stage totals and event
+// drop count (via obs.Ledger), the serialized config, the experiment
+// ids that ran, and every result table in typed-JSON form. wall, when
+// positive, overrides the recorder uptime as the run's wall time.
+func BuildLedger(name string, cfg Config, experiments []string, tables []*Table, wall time.Duration) *obs.RunLedger {
+	l := cfg.Recorder.Ledger(name)
+	l.Config = cfg.ledgerView(experiments)
+	for _, t := range tables {
+		l.Tables = append(l.Tables, t)
+	}
+	if wall > 0 {
+		l.WallMS = float64(wall) / float64(time.Millisecond)
+	}
+	return l
+}
+
+// WriteLedgerFile writes the ledger to path as canonical JSON.
+func WriteLedgerFile(path string, l *obs.RunLedger) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteLedger(f, l); err != nil {
+		f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
+		return err
+	}
+	return f.Close()
+}
+
+// ReadLedgerFile parses a ledger previously written by WriteLedgerFile.
+func ReadLedgerFile(path string) (*obs.RunLedger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+	return obs.ReadLedger(f)
+}
+
+// Compare exit codes: improvement or parity is success, a gated-metric
+// regression is 1, and unreadable/malformed ledgers are 2 so CI can
+// tell "got slower" from "the artifact is broken".
+const (
+	CompareOK        = 0
+	CompareRegressed = 1
+	CompareMalformed = 2
+)
+
+// CompareFiles diffs the baseline ledger at prevPath against the fresh
+// run at currPath, prints per-metric deltas to w, and returns the
+// process exit code for the verdict.
+func CompareFiles(w io.Writer, prevPath, currPath string, th obs.Thresholds) int {
+	prev, err := ReadLedgerFile(prevPath)
+	if err != nil {
+		fmt.Fprintf(w, "compare: baseline %s: %v\n", prevPath, err)
+		return CompareMalformed
+	}
+	curr, err := ReadLedgerFile(currPath)
+	if err != nil {
+		fmt.Fprintf(w, "compare: current %s: %v\n", currPath, err)
+		return CompareMalformed
+	}
+	deltas, regressed := obs.CompareLedgers(prev, curr, th)
+
+	t := &Table{
+		Title:  fmt.Sprintf("Ledger diff: %s -> %s", prev.Name, curr.Name),
+		Header: []string{"Metric", "Old", "New", "Delta", "Verdict"},
+	}
+	for _, d := range deltas {
+		verdict := ""
+		switch {
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case d.Gated:
+			verdict = "ok"
+		}
+		t.AddRow(d.Metric, trimFloat(d.Old), trimFloat(d.New), trimFloat(d.Diff), verdict)
+	}
+	t.AddNote("gated metrics: %s (max +%.0f%%), reuse_ratio (max -%.3f), wall_ms (max +%.0f%%)",
+		obs.CounterInvocations, 100*th.Invocations, th.Reuse, 100*th.Wall)
+	t.Fprint(w)
+	if regressed {
+		fmt.Fprintln(w, "verdict: REGRESSION")
+		return CompareRegressed
+	}
+	fmt.Fprintln(w, "verdict: ok")
+	return CompareOK
+}
+
+// trimFloat renders a delta value compactly: integers without decimals,
+// everything else with three.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// SmokeConfig is the tiny deterministic workload behind the CI compare
+// gate: seconds of wall time, yet it exercises mining, pool build,
+// batch, streaming, and the sequential baseline, and its invocation
+// counts are exactly reproducible from the seed.
+func SmokeConfig(seed int64) Config {
+	return Config{
+		Rows:        1200,
+		Batch:       40,
+		Batches:     []int{40},
+		Trees:       12,
+		Delay:       time.Microsecond,
+		Seed:        seed,
+		LIMESamples: 120,
+		SHAPSamples: 64,
+		Tau:         25,
+	}.Fill()
+}
+
+// Smoke runs the CI-scale benchmark: sequential baseline, Shahin-Batch,
+// and Shahin-Streaming on the census twin for LIME and SHAP, reporting
+// the cost ledger of each run.
+func Smoke(cfg Config) (*Table, error) {
+	cfg = cfg.Fill()
+	env, err := NewEnv("census", cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := env.Tuples(cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Smoke: cost ledger at batch=%d (census)", cfg.Batch),
+		Header: []string{"Explainer", "Mode", "Invocations", "PoolInv", "Reused", "ReuseRate", "Wall (ms)"},
+	}
+	runs := []struct {
+		mode string
+		run  func(*Env, core.Options, [][]float64) (*core.Result, error)
+	}{
+		{"seq", runSequential},
+		{"batch", runBatch},
+		{"stream", runStream},
+	}
+	for _, kind := range []core.Kind{core.LIME, core.SHAP} {
+		opts := cfg.Options(kind)
+		// Re-mine early enough that the streaming variant builds a pool
+		// and reuses samples within the tiny smoke batch.
+		opts.StreamRecompute = cfg.Batch / 4
+		for _, r := range runs {
+			res, err := r.run(env, opts, tuples)
+			if err != nil {
+				return nil, fmt.Errorf("smoke %s/%s: %w", kind, r.mode, err)
+			}
+			rep := res.Report
+			t.AddRow(kind.String(), r.mode,
+				fmt.Sprintf("%d", rep.Invocations),
+				fmt.Sprintf("%d", rep.PoolInvocations),
+				fmt.Sprintf("%d", rep.ReusedSamples),
+				f3(rep.ReuseRate()),
+				f2(float64(rep.WallTime)/float64(time.Millisecond)))
+		}
+	}
+	t.AddNote("invocation, pool, and reuse counts are seed-deterministic; wall times are not")
+	return t, nil
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shahin/internal/obs"
+)
+
+func TestTableMarshalJSON(t *testing.T) {
+	tab := &Table{
+		Title:  "Smoke: cost ledger",
+		Header: []string{"Explainer", "Invocations", "ReuseRate"},
+	}
+	tab.AddRow("LIME", "1470", "0.746")
+	tab.AddRow("SHAP", "897", "0.720")
+	tab.AddNote("counts are seed-deterministic")
+
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title  string   `json:"title"`
+		Header []string `json:"header"`
+		Rows   [][]any  `json:"rows"`
+		Notes  []string `json:"notes"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != tab.Title || len(got.Header) != 3 || len(got.Rows) != 2 || len(got.Notes) != 1 {
+		t.Fatalf("shape %+v", got)
+	}
+	// Cells come back typed: strings stay strings, counts become JSON
+	// numbers, decimals become floats.
+	if got.Rows[0][0] != "LIME" {
+		t.Errorf("string cell %v (%T)", got.Rows[0][0], got.Rows[0][0])
+	}
+	if got.Rows[0][1] != float64(1470) {
+		t.Errorf("integer cell %v (%T)", got.Rows[0][1], got.Rows[0][1])
+	}
+	if got.Rows[1][2] != 0.720 {
+		t.Errorf("float cell %v (%T)", got.Rows[1][2], got.Rows[1][2])
+	}
+}
+
+// runSmokeLedger runs the smoke experiment on a fresh recorder and
+// returns its ledger.
+func runSmokeLedger(t *testing.T, seed int64) *obs.RunLedger {
+	t.Helper()
+	cfg := SmokeConfig(seed)
+	cfg.Recorder = obs.NewRecorder()
+	tab, err := Smoke(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildLedger("smoke", cfg, []string{"smoke"}, []*Table{tab}, 0)
+}
+
+// TestSmokeLedgerDeterminism is the acceptance check that two same-seed
+// smoke runs produce byte-identical invocation and reuse accounting:
+// the counters section and the embedded result tables (minus wall-time
+// columns, which are hardware noise) must match exactly.
+func TestSmokeLedgerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke runs take a few hundred ms")
+	}
+	a := runSmokeLedger(t, 7)
+	b := runSmokeLedger(t, 7)
+
+	ca, err := json.Marshal(a.Metrics.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := json.Marshal(b.Metrics.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("counters differ across same-seed runs:\n%s\n%s", ca, cb)
+	}
+	if a.Metrics.Counters[obs.CounterInvocations] == 0 {
+		t.Fatal("smoke run recorded no invocations")
+	}
+	if a.ReuseRatio() <= 0 {
+		t.Fatal("smoke run recorded no reuse")
+	}
+
+	// Table rows: every column except the trailing wall-time one must be
+	// byte-identical.
+	ta, tb := a.Tables[0].(*Table), b.Tables[0].(*Table)
+	if len(ta.Rows) != len(tb.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(ta.Rows), len(tb.Rows))
+	}
+	for i := range ta.Rows {
+		ra, rb := ta.Rows[i], tb.Rows[i]
+		for j := 0; j < len(ra)-1; j++ {
+			if ra[j] != rb[j] {
+				t.Errorf("row %d col %d differs: %q vs %q", i, j, ra[j], rb[j])
+			}
+		}
+	}
+}
+
+// TestCompareFilesExitCodes covers the three CI verdicts: parity or
+// improvement exits 0, a gated regression exits 1, unreadable or
+// malformed artifacts exit 2.
+func TestCompareFilesExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke runs take a few hundred ms")
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	l := runSmokeLedger(t, 11)
+	if err := WriteLedgerFile(base, l); err != nil {
+		t.Fatal(err)
+	}
+	th := obs.Thresholds{Invocations: 0, Wall: 10, Reuse: 0.001}
+
+	var out bytes.Buffer
+	if code := CompareFiles(&out, base, base, th); code != CompareOK {
+		t.Fatalf("self-compare exit %d, want %d\n%s", code, CompareOK, out.String())
+	}
+	if !strings.Contains(out.String(), "verdict: ok") {
+		t.Errorf("missing ok verdict:\n%s", out.String())
+	}
+
+	// Injected regression: force the invocation counter past the exact
+	// threshold and the reuse ratio down.
+	worse := *l
+	worse.Metrics.Counters = map[string]int64{}
+	for k, v := range l.Metrics.Counters {
+		worse.Metrics.Counters[k] = v
+	}
+	worse.Metrics.Counters[obs.CounterInvocations] += 500
+	worseFile := filepath.Join(dir, "worse.json")
+	if err := WriteLedgerFile(worseFile, &worse); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := CompareFiles(&out, base, worseFile, th); code != CompareRegressed {
+		t.Fatalf("regression exit %d, want %d\n%s", code, CompareRegressed, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "verdict: REGRESSION") {
+		t.Errorf("regression verdict missing:\n%s", out.String())
+	}
+
+	// An improvement in the other direction still exits 0.
+	out.Reset()
+	if code := CompareFiles(&out, worseFile, base, th); code != CompareOK {
+		t.Fatalf("improvement exit %d, want %d\n%s", code, CompareOK, out.String())
+	}
+
+	// Malformed: missing file, then invalid JSON.
+	out.Reset()
+	if code := CompareFiles(&out, base, filepath.Join(dir, "nope.json"), th); code != CompareMalformed {
+		t.Fatalf("missing file exit %d, want %d", code, CompareMalformed)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := CompareFiles(&out, bad, base, th); code != CompareMalformed {
+		t.Fatalf("malformed baseline exit %d, want %d", code, CompareMalformed)
+	}
+}
+
+// TestLedgerFileRoundTrip checks WriteLedgerFile/ReadLedgerFile and that
+// the embedded config survives as generic JSON.
+func TestLedgerFileRoundTrip(t *testing.T) {
+	rec := obs.NewRecorder()
+	rec.Counter(obs.CounterInvocations).Add(42)
+	cfg := SmokeConfig(3)
+	cfg.Recorder = rec
+	l := BuildLedger("unit", cfg, []string{"smoke"}, nil, 0)
+
+	path := filepath.Join(t.TempDir(), "BENCH_unit.json")
+	if err := WriteLedgerFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLedgerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "unit" || back.Metrics.Counters[obs.CounterInvocations] != 42 {
+		t.Fatalf("read back %+v", back)
+	}
+	cfgMap, ok := back.Config.(map[string]any)
+	if !ok || cfgMap["seed"] != float64(3) || cfgMap["rows"] != float64(1200) {
+		t.Fatalf("config did not survive: %v", back.Config)
+	}
+	if back.Env.GoVersion == "" {
+		t.Fatal("fingerprint missing")
+	}
+}

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -59,6 +61,44 @@ func (t *Table) Fprint(w io.Writer) {
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
+}
+
+// tableJSON is the MarshalJSON shape of a Table: the header names the
+// columns and each row carries typed cells, so ledger consumers can
+// compute over figures without re-parsing rendered text.
+type tableJSON struct {
+	Title  string   `json:"title"`
+	Header []string `json:"header"`
+	Rows   [][]any  `json:"rows"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler: cells that parse as integers
+// or floats are emitted as JSON numbers, everything else as strings.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := make([][]any, len(t.Rows))
+	for i, row := range t.Rows {
+		cells := make([]any, len(row))
+		for j, c := range row {
+			cells[j] = typedCell(c)
+		}
+		rows[i] = cells
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Header: t.Header, Rows: rows, Notes: t.Notes})
+}
+
+// typedCell converts a rendered cell back to its natural JSON type.
+func typedCell(c string) any {
+	if c == "" {
+		return c
+	}
+	if v, err := strconv.ParseInt(c, 10, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseFloat(c, 64); err == nil {
+		return v
+	}
+	return c
 }
 
 // f2 formats a float with 2 decimals.

@@ -47,17 +47,28 @@ func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]f
 	}
 	out := make([]Explanation, 0, len(tuples))
 	for i, t := range tuples {
-		var tupleStart time.Time
+		var (
+			tupleStart time.Time
+			inv0       int64
+		)
 		if tupleHist != nil {
 			tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
+			inv0 = eng.invocations()
 		}
 		exp, err := eng.explain(t, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
 		}
 		if tupleHist != nil {
-			tupleHist.Observe(time.Since(tupleStart))
+			dur := time.Since(tupleStart)
+			tupleHist.Observe(dur)
 			doneCtr.Inc()
+			rec.Emit(obs.Event{
+				Type: obs.EventTupleExplained, Tuple: i,
+				Explainer: opts.Explainer.String(),
+				Fresh:     eng.invocations() - inv0,
+				DurMS:     float64(dur) / float64(time.Millisecond),
+			})
 		}
 		out = append(out, exp)
 	}

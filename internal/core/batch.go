@@ -110,12 +110,17 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	case Anchor:
 		sh = anchor.NewShared(eng.cls.NumClasses(), opts.CacheBytes)
 		sh.Repo.SetHooks(cacheHooks(rec))
-		seedAnchor(sh, eng.cls, gen, frequent, opts.Tau)
+		seedAnchor(sh, eng.cls, gen, frequent, opts.Tau, rec)
 	default:
 		repo = cache.NewRepo(opts.CacheBytes)
 		repo.SetHooks(cacheHooks(rec))
 		sets = make([]dataset.Itemset, len(frequent))
 		for i, mnd := range frequent {
+			var setStart time.Time
+			if rec != nil {
+				setStart = time.Now() //shahinvet:allow walltime — per-itemset pre-label timing feeds the obs event log
+			}
+			inv0 := eng.invocations()
 			samples := make([]perturb.Sample, opts.Tau)
 			for j := range samples {
 				s := gen.ForItemset(mnd.Set)
@@ -124,6 +129,13 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 			}
 			repo.Put(mnd.Set.Key(), samples)
 			sets[i] = mnd.Set
+			if rec != nil {
+				rec.Emit(obs.Event{
+					Type: obs.EventPreLabel, Tuple: -1, Itemset: mnd.Set.String(),
+					Fresh: eng.invocations() - inv0,
+					DurMS: float64(time.Since(setStart)) / float64(time.Millisecond),
+				})
+			}
 		}
 		pool = newItemsetPool(repo, sets, rec)
 	}
@@ -133,6 +145,10 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	poolSpan.SetAttr("pool_invocations", poolInv)
 	poolSpan.End()
 	rec.Counter(obs.CounterPoolInvocations).Add(poolInv)
+	rec.Emit(obs.Event{
+		Type: obs.EventPoolBuild, Tuple: -1, Itemsets: len(frequent),
+		Fresh: poolInv, DurMS: float64(poolTime) / float64(time.Millisecond),
+	})
 
 	// Step 3: explain every tuple, reusing pooled work.
 	rep := Report{
@@ -169,17 +185,38 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 				pool.beginTuple()
 				pl = pool
 			}
-			var tupleStart time.Time
+			var (
+				tupleStart time.Time
+				inv0       int64
+				anchorHits int64
+			)
 			if tupleHist != nil {
 				tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
+				inv0 = eng.invocations()
+				if sh != nil {
+					anchorHits = sh.Repo.Stats().Hits
+				}
 			}
 			exp, err := eng.explain(t, pl, sh)
 			if err != nil {
 				return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
 			}
 			if tupleHist != nil {
-				tupleHist.Observe(time.Since(tupleStart))
+				dur := time.Since(tupleStart)
+				tupleHist.Observe(dur)
 				doneCtr.Inc()
+				ev := obs.Event{
+					Type: obs.EventTupleExplained, Tuple: i,
+					Explainer: opts.Explainer.String(),
+					Fresh:     eng.invocations() - inv0,
+					DurMS:     float64(dur) / float64(time.Millisecond),
+				}
+				if pool != nil {
+					ev.Pooled, ev.CacheHits, ev.Itemset = pool.provenance()
+				} else if sh != nil {
+					ev.CacheHits = sh.Repo.Stats().Hits - anchorHits
+				}
+				rec.Emit(ev)
 			}
 			out = append(out, exp)
 		}
@@ -235,9 +272,13 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 			defer wg.Done()
 			for i := w; i < len(tuples); i += workers {
 				pools[w].beginTuple()
-				var tupleStart time.Time
+				var (
+					tupleStart time.Time
+					inv0       int64
+				)
 				if tupleHist != nil {
 					tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
+					inv0 = engines[w].invocations()
 				}
 				exp, err := engines[w].explain(tuples[i], pools[w], nil)
 				if err != nil {
@@ -245,8 +286,17 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 					return
 				}
 				if tupleHist != nil {
-					tupleHist.Observe(time.Since(tupleStart))
+					dur := time.Since(tupleStart)
+					tupleHist.Observe(dur)
 					doneCtr.Inc()
+					ev := obs.Event{
+						Type: obs.EventTupleExplained, Tuple: i,
+						Explainer: opts.Explainer.String(),
+						Fresh:     engines[w].invocations() - inv0,
+						DurMS:     float64(dur) / float64(time.Millisecond),
+					}
+					ev.Pooled, ev.CacheHits, ev.Itemset = pools[w].provenance()
+					rec.Emit(ev)
 				}
 				out[i] = exp
 			}
@@ -329,10 +379,15 @@ func itemizeSample(st *dataset.Stats, tuples [][]float64, n int, rng *rand.Rand)
 // seedAnchor pre-estimates the precision of every frequent-itemset rule
 // (Algorithm 2, line 3): τ labelled perturbations per rule go into the
 // shared repository, their class histogram into the invariant cache, and
-// the mined support doubles as the rule's coverage.
-func seedAnchor(sh *anchor.Shared, cls rf.Classifier, gen *perturb.Generator, frequent []fim.Mined, tau int) {
+// the mined support doubles as the rule's coverage. Each seeded rule
+// emits a pre_label provenance event when a recorder is attached.
+func seedAnchor(sh *anchor.Shared, cls rf.Classifier, gen *perturb.Generator, frequent []fim.Mined, tau int, rec *obs.Recorder) {
 	nClasses := cls.NumClasses()
 	for _, mnd := range frequent {
+		var setStart time.Time
+		if rec != nil {
+			setStart = time.Now() //shahinvet:allow walltime — per-itemset pre-label timing feeds the obs event log
+		}
 		rr, _ := sh.Inv.Lookup(mnd.Set.Key())
 		hist := make([]int, nClasses)
 		samples := make([]perturb.Sample, tau)
@@ -346,5 +401,12 @@ func seedAnchor(sh *anchor.Shared, cls rf.Classifier, gen *perturb.Generator, fr
 		rr.Coverage = mnd.Support
 		rr.HasCoverage = true
 		sh.Repo.Put(mnd.Set.Key(), samples)
+		if rec != nil {
+			rec.Emit(obs.Event{
+				Type: obs.EventPreLabel, Tuple: -1, Itemset: mnd.Set.String(),
+				Fresh: int64(tau),
+				DurMS: float64(time.Since(setStart)) / float64(time.Millisecond),
+			})
+		}
 	}
 }

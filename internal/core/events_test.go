@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"shahin/internal/obs"
+)
+
+// eventSums aggregates an event log into the totals the reconciliation
+// identities are stated over.
+type eventSums struct {
+	explained       int
+	explainedFresh  int64
+	explainedPooled int64
+	preLabelFresh   int64
+	poolBuilds      int
+	remines         int
+}
+
+func sumEvents(t *testing.T, rec *obs.Recorder) eventSums {
+	t.Helper()
+	events, dropped := rec.Events()
+	if dropped != 0 {
+		t.Fatalf("event log dropped %d events; raise capacity for this test", dropped)
+	}
+	var s eventSums
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventTupleExplained:
+			s.explained++
+			s.explainedFresh += e.Fresh
+			s.explainedPooled += e.Pooled
+			if e.Tuple < 0 {
+				t.Errorf("tuple_explained with tuple %d", e.Tuple)
+			}
+		case obs.EventPreLabel:
+			s.preLabelFresh += e.Fresh
+		case obs.EventPoolBuild:
+			s.poolBuilds++
+		case obs.EventRemine:
+			s.remines++
+		}
+	}
+	return s
+}
+
+// reconcile checks the provenance identities that tie the event log to
+// the cost report: per-tuple fresh samples account for every classifier
+// invocation outside pool pre-labelling, per-tuple pooled samples
+// account for every reused sample, and pre-label events account for the
+// pool's invocations — so summed event samples equal
+// Invocations + ReusedSamples exactly.
+func reconcile(t *testing.T, s eventSums, rep Report) {
+	t.Helper()
+	if s.explained != rep.Tuples {
+		t.Errorf("%d tuple_explained events for %d tuples", s.explained, rep.Tuples)
+	}
+	if want := rep.Invocations - rep.PoolInvocations; s.explainedFresh != want {
+		t.Errorf("sum of per-tuple fresh samples = %d, want Invocations-PoolInvocations = %d", s.explainedFresh, want)
+	}
+	if s.explainedPooled != rep.ReusedSamples {
+		t.Errorf("sum of per-tuple pooled samples = %d, want ReusedSamples = %d", s.explainedPooled, rep.ReusedSamples)
+	}
+	if s.preLabelFresh != rep.PoolInvocations {
+		t.Errorf("sum of pre_label fresh samples = %d, want PoolInvocations = %d", s.preLabelFresh, rep.PoolInvocations)
+	}
+	if got, want := s.explainedFresh+s.explainedPooled+s.preLabelFresh, rep.Invocations+rep.ReusedSamples; got != want {
+		t.Errorf("event-accounted samples = %d, want Invocations+ReusedSamples = %d", got, want)
+	}
+}
+
+// TestBatchEventReconciliation is the end-to-end provenance acceptance
+// check on the batch pipeline.
+func TestBatchEventReconciliation(t *testing.T) {
+	env := newEnv(t, 31, 40)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 32)
+	opts.Recorder = rec
+
+	b, err := NewBatch(env.st, env.cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAll(env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.ReusedSamples == 0 {
+		t.Fatal("batch run reused nothing; reconciliation would be vacuous")
+	}
+	s := sumEvents(t, rec)
+	if s.poolBuilds != 1 {
+		t.Errorf("%d pool_build events, want 1", s.poolBuilds)
+	}
+	reconcile(t, s, res.Report)
+
+	// Per-tuple provenance: at least one explanation should name the
+	// frequent itemset that served it.
+	events, _ := rec.Events()
+	matched := 0
+	for _, e := range events {
+		if e.Type == obs.EventTupleExplained && e.Itemset != "" {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Error("no tuple_explained event carries a matched itemset")
+	}
+}
+
+// TestSequentialEventReconciliation covers the baseline: no pool, so
+// every invocation is a per-tuple fresh sample.
+func TestSequentialEventReconciliation(t *testing.T) {
+	env := newEnv(t, 33, 25)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 34)
+	opts.Recorder = rec
+
+	res, err := Sequential(env.st, env.cls, opts, env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, sumEvents(t, rec), res.Report)
+}
+
+// TestStreamEventReconciliation covers the streaming variant, forcing
+// re-mines so pool materialisation and reuse both happen mid-stream.
+func TestStreamEventReconciliation(t *testing.T) {
+	env := newEnv(t, 35, 60)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 36)
+	opts.Recorder = rec
+	opts.StreamRecompute = 20
+
+	st, err := NewStream(env.st, env.cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tup := range env.tuples {
+		if _, err := st.Explain(tup); err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+	}
+	rep := st.Report()
+	if rep.ReusedSamples == 0 {
+		t.Fatal("stream run reused nothing; raise batch or lower StreamRecompute")
+	}
+	s := sumEvents(t, rec)
+	if s.remines == 0 {
+		t.Error("no re_mine events despite forced recomputes")
+	}
+	if s.poolBuilds == 0 {
+		t.Error("no pool_build events despite materialisation")
+	}
+	reconcile(t, s, rep)
+}
+
+// TestParallelBatchEventReconciliation hammers the shared event log from
+// parallel explain workers; under -race it proves Emit is goroutine-safe
+// and the identities still hold when provenance comes from per-worker
+// pools.
+func TestParallelBatchEventReconciliation(t *testing.T) {
+	env := newEnv(t, 37, 64)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 38)
+	opts.Recorder = rec
+	opts.Workers = 4
+
+	b, err := NewBatch(env.st, env.cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAll(env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, sumEvents(t, rec), res.Report)
+}
+
+// TestAnchorEventCacheHits checks the Anchor path reports cache-hit
+// provenance (it reuses via shared caches, not the perturbation pool).
+func TestAnchorEventCacheHits(t *testing.T) {
+	env := newEnv(t, 39, 20)
+	rec := obs.NewRecorder()
+	opts := smallOpts(Anchor, 40)
+	opts.Recorder = rec
+
+	b, err := NewBatch(env.st, env.cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAll(env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := rec.Events()
+	explained, hits := 0, int64(0)
+	for _, e := range events {
+		if e.Type == obs.EventTupleExplained {
+			explained++
+			hits += e.CacheHits
+		}
+	}
+	if explained != res.Report.Tuples {
+		t.Errorf("%d tuple_explained events for %d tuples", explained, res.Report.Tuples)
+	}
+	if res.Report.ReusedSamples > 0 && hits == 0 {
+		t.Error("anchor reuse happened but no tuple_explained event carries cache hits")
+	}
+}

@@ -177,14 +177,20 @@ func (o Options) withDefaults() Options {
 }
 
 // cacheHooks builds repository event hooks feeding the recorder's cache
-// counters (zero Hooks — all callbacks nil — when rec is nil).
+// counters (zero Hooks — all callbacks nil — when rec is nil). Evictions
+// additionally land in the structured event log: under a tight byte
+// budget they explain where reuse went.
 func cacheHooks(rec *obs.Recorder) cache.Hooks {
 	if rec == nil {
 		return cache.Hooks{}
 	}
+	evictions := rec.Counter(obs.CounterCacheEvictions)
 	return cache.Hooks{
-		Hit:   rec.Counter(obs.CounterCacheHits).Inc,
-		Miss:  rec.Counter(obs.CounterCacheMisses).Inc,
-		Evict: rec.Counter(obs.CounterCacheEvictions).Inc,
+		Hit:  rec.Counter(obs.CounterCacheHits).Inc,
+		Miss: rec.Counter(obs.CounterCacheMisses).Inc,
+		Evict: func() {
+			evictions.Inc()
+			rec.Emit(obs.Event{Type: obs.EventCacheEvict, Tuple: -1})
+		},
 	}
 }

@@ -43,6 +43,13 @@ type itemsetPool struct {
 	reused    int64
 	retrieval time.Duration
 	reusedCtr *obs.Counter // live reuse counter; nil (no-op) without a recorder
+
+	// Per-tuple provenance, reset by beginTuple: samples served, repo
+	// hits, and the first itemset that served this tuple (the unit the
+	// tuple_explained event credits the reuse to).
+	tupleReused int64
+	tupleHits   int64
+	matched     dataset.Itemset
 }
 
 var _ explain.Pool = (*itemsetPool)(nil)
@@ -60,10 +67,23 @@ func newItemsetPool(repo sampleSource, itemsets []dataset.Itemset, rec *obs.Reco
 	}
 }
 
-// beginTuple resets the per-tuple consumption allowance.
+// beginTuple resets the per-tuple consumption allowance and provenance.
 func (p *itemsetPool) beginTuple() {
 	clear(p.cursors)
 	clear(p.consumed)
+	p.tupleReused = 0
+	p.tupleHits = 0
+	p.matched = nil
+}
+
+// provenance reports what the pool did for the current tuple since
+// beginTuple: samples served, repository hits, and the first matched
+// itemset ("" when nothing hit).
+func (p *itemsetPool) provenance() (pooled, hits int64, matched string) {
+	if p.matched != nil {
+		matched = p.matched.String()
+	}
+	return p.tupleReused, p.tupleHits, matched
 }
 
 // ForTuple implements explain.Pool: samples of every pooled itemset the
@@ -85,6 +105,10 @@ func (p *itemsetPool) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sam
 		if !ok {
 			continue
 		}
+		p.tupleHits++
+		if p.matched == nil {
+			p.matched = f
+		}
 		cur := p.cursors[key]
 		for cur < len(samples) && len(out) < max {
 			out = append(out, samples[cur])
@@ -93,6 +117,7 @@ func (p *itemsetPool) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sam
 		p.cursors[key] = cur
 	}
 	p.reused += int64(len(out))
+	p.tupleReused += int64(len(out))
 	p.reusedCtr.Add(int64(len(out)))
 	return out
 }
@@ -124,6 +149,10 @@ func (p *itemsetPool) ForItemset(required dataset.Itemset, max int) []perturb.Sa
 		if !ok {
 			continue
 		}
+		p.tupleHits++
+		if p.matched == nil {
+			p.matched = f
+		}
 		used := p.consumed[key]
 		if used == nil {
 			used = make([]bool, len(samples))
@@ -145,6 +174,7 @@ func (p *itemsetPool) ForItemset(required dataset.Itemset, max int) []perturb.Sa
 		}
 	}
 	p.reused += int64(len(out))
+	p.tupleReused += int64(len(out))
 	p.reusedCtr.Add(int64(len(out)))
 	return out
 }

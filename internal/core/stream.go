@@ -155,14 +155,40 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 		s.pool.beginTuple()
 		pl = s.pool
 	}
+	rec := s.opts.Recorder
+	var (
+		inv0       int64
+		anchorHits int64
+	)
+	if rec != nil {
+		inv0 = s.eng.invocations()
+		if s.sh != nil {
+			anchorHits = s.sh.Repo.Stats().Hits
+		}
+	}
 	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	exp, err := s.eng.explain(t, pl, s.sh)
-	s.explainTime += time.Since(explainStart)
+	dur := time.Since(explainStart)
+	s.explainTime += dur
 	if err != nil {
 		return Explanation{}, err
 	}
-	s.tupleHist.Observe(time.Since(explainStart))
+	s.tupleHist.Observe(dur)
 	s.doneCtr.Inc()
+	if rec != nil {
+		ev := obs.Event{
+			Type: obs.EventTupleExplained, Tuple: s.tuples,
+			Explainer: s.opts.Explainer.String(),
+			Fresh:     s.eng.invocations() - inv0,
+			DurMS:     float64(dur) / float64(time.Millisecond),
+		}
+		if pl != nil {
+			ev.Pooled, ev.CacheHits, ev.Itemset = s.pool.provenance()
+		} else if s.sh != nil {
+			ev.CacheHits = s.sh.Repo.Stats().Hits - anchorHits
+		}
+		rec.Emit(ev)
+	}
 	s.tuples++
 	return exp, nil
 }
@@ -173,6 +199,14 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 func (s *Stream) remine() {
 	remineSpan := s.root.Child(obs.StageRemine)
 	defer remineSpan.End()
+	remineStart := time.Now() //shahinvet:allow walltime — re-mine timing feeds the obs event log
+	frequentAfter := 0
+	defer func() {
+		s.opts.Recorder.Emit(obs.Event{
+			Type: obs.EventRemine, Tuple: -1, Itemsets: frequentAfter,
+			DurMS: float64(time.Since(remineStart)) / float64(time.Millisecond),
+		})
+	}()
 	mineSpan := remineSpan.Child(obs.StageMine)
 	mineStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	res, err := fim.Mine(s.window, fim.Config{
@@ -194,6 +228,7 @@ func (s *Stream) remine() {
 	if len(frequent) > s.maxPooled {
 		frequent = frequent[:s.maxPooled]
 	}
+	frequentAfter = len(frequent)
 
 	// Evict repository entries whose itemset is no longer frequent
 	// ("any frequent itemset that becomes infrequent is kicked out along
@@ -216,17 +251,28 @@ func (s *Stream) remine() {
 	// (frequent itemsets + negative border).
 	poolSpan := remineSpan.Child(obs.StagePoolBuild)
 	preLabelSpan := poolSpan.Child(obs.StagePreLabel)
+	poolStart := time.Now() //shahinvet:allow walltime — pool-build timing feeds the obs event log
+	poolInv0 := s.poolInv
+	materialised := 0
 	s.tracked = s.tracked[:0]
 	var sets []dataset.Itemset
 	for _, m := range frequent {
 		if !repo.Contains(m.Set.Key()) {
 			s.materialize(m.Set, m.Support)
+			materialised++
 		}
 		sets = append(sets, m.Set)
 		s.tracked = append(s.tracked, &trackedSet{set: m.Set, frequent: true})
 	}
 	preLabelSpan.End()
 	poolSpan.End()
+	if materialised > 0 {
+		s.opts.Recorder.Emit(obs.Event{
+			Type: obs.EventPoolBuild, Tuple: -1, Itemsets: materialised,
+			Fresh: s.poolInv - poolInv0,
+			DurMS: float64(time.Since(poolStart)) / float64(time.Millisecond),
+		})
+	}
 	if *s.opts.StreamBorder {
 		// Track only the most promising border itemsets (the mined border
 		// is sorted by support within each length); an unbounded border
@@ -261,6 +307,17 @@ func (s *Stream) materialize(set dataset.Itemset, support float64) {
 		s.poolInv += delta
 		s.opts.Recorder.Counter(obs.CounterPoolInvocations).Add(delta)
 	}()
+	defer func(inv0 int64, setStart time.Time) {
+		rec := s.opts.Recorder
+		if rec == nil {
+			return
+		}
+		rec.Emit(obs.Event{
+			Type: obs.EventPreLabel, Tuple: -1, Itemset: set.String(),
+			Fresh: s.eng.invocations() - inv0,
+			DurMS: float64(time.Since(setStart)) / float64(time.Millisecond),
+		})
+	}(inv0, poolStart)
 	tau := s.opts.Tau
 	if s.sh != nil {
 		rr, _ := s.sh.Inv.Lookup(set.Key())

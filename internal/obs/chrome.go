@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON
+// array flavour): a complete event (`ph:"X"`) with microsecond
+// timestamps, loadable in Perfetto / chrome://tracing.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // start, microseconds from recorder epoch
+	Dur  float64        `json:"dur"` // duration, microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace converts the recorded span forest into Chrome trace
+// events: each root span and its descendants share one tid (so nested
+// stages render as a flame on that track), events are sorted by start
+// time within each tid, and span attributes ride along as args. Nil
+// recorders return an empty slice.
+func (r *Recorder) ChromeTrace() []ChromeEvent {
+	if r == nil {
+		return []ChromeEvent{}
+	}
+	events := []ChromeEvent{}
+	var walk func(d *SpanDump, tid int)
+	walk = func(d *SpanDump, tid int) {
+		ev := ChromeEvent{
+			Name: d.Name,
+			Cat:  "shahin",
+			Ph:   "X",
+			TS:   d.StartMS * 1000,
+			Dur:  d.DurMS * 1000,
+			PID:  1,
+			TID:  tid,
+		}
+		if len(d.Attrs) > 0 || d.InFlight {
+			ev.Args = make(map[string]any, len(d.Attrs)+1)
+			for k, v := range d.Attrs {
+				ev.Args[k] = v
+			}
+			if d.InFlight {
+				ev.Args["in_flight"] = true
+			}
+		}
+		events = append(events, ev)
+		for _, c := range d.Children {
+			walk(c, tid)
+		}
+	}
+	for i, root := range r.Trace() {
+		walk(root, i+1)
+	}
+	// The trace viewer expects monotone timestamps per track; sibling
+	// spans are recorded in start order but clock rounding can tie, so
+	// sort explicitly (stable: preserves parent-before-child on ties).
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		return events[i].TS < events[j].TS
+	})
+	return events
+}
+
+// WriteChromeTrace writes the span forest in the Chrome trace-event
+// JSON array format. A nil recorder writes an empty array.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.ChromeTrace())
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventType names the structured events the pipeline emits. Each run
+// stage that creates or consumes reusable work reports itself, so the
+// event log answers the provenance question the cost ledger cannot:
+// *which* materialised unit served *which* explanation.
+type EventType string
+
+const (
+	// EventPoolBuild marks the completion of a pool-construction phase:
+	// Itemsets materialised, Fresh classifier calls spent, DurMS elapsed.
+	EventPoolBuild EventType = "pool_build"
+	// EventPreLabel records the up-front labelling of one itemset's τ
+	// perturbations (Itemset, Fresh = labels bought, DurMS).
+	EventPreLabel EventType = "pre_label"
+	// EventRemine marks a streaming itemset recomputation (Itemsets =
+	// frequent sets after the re-mine, DurMS).
+	EventRemine EventType = "re_mine"
+	// EventCacheEvict records one repository eviction.
+	EventCacheEvict EventType = "cache_evict"
+	// EventTupleExplained is the per-explanation provenance record:
+	// Tuple index, Explainer, the first matched frequent Itemset,
+	// Pooled vs Fresh sample counts, CacheHits, and DurMS.
+	EventTupleExplained EventType = "tuple_explained"
+)
+
+// Event is one entry of the run's structured event log. Fields are a
+// union across event types; unused ones marshal away. Tuple is -1 for
+// events not scoped to a single explanation, so index 0 stays visible.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	TMS  float64   `json:"t_ms"`
+	Type EventType `json:"type"`
+
+	Tuple     int    `json:"tuple"`
+	Explainer string `json:"explainer,omitempty"`
+	// Itemset is the provenance unit: the matched frequent itemset of a
+	// tuple_explained event, or the itemset being pre-labelled.
+	Itemset  string `json:"itemset,omitempty"`
+	Itemsets int    `json:"itemsets,omitempty"`
+	// Pooled counts samples served from the repository, Fresh the
+	// classifier invocations spent instead.
+	Pooled    int64   `json:"pooled_samples,omitempty"`
+	Fresh     int64   `json:"fresh_samples,omitempty"`
+	CacheHits int64   `json:"cache_hits,omitempty"`
+	DurMS     float64 `json:"dur_ms,omitempty"`
+}
+
+// DefaultEventCapacity bounds the event log unless SetEventCapacity
+// overrides it. A full log drops the oldest events (the live tail is
+// the useful part) and counts every drop.
+const DefaultEventCapacity = 8192
+
+// eventLog is a bounded ring of events. Guarded by its own mutex so
+// event emission never contends with the counter registry.
+type eventLog struct {
+	mu      sync.Mutex
+	buf     []Event // ring storage, len == capacity once full
+	cap     int
+	next    int   // ring write position once len(buf) == cap
+	seq     int64 // total events ever emitted
+	dropped int64
+}
+
+// emit appends one event, stamping its sequence number, and overwrites
+// the oldest entry when the ring is full.
+func (l *eventLog) emit(e Event) {
+	l.mu.Lock()
+	e.Seq = l.seq
+	l.seq++
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % l.cap
+		l.dropped++
+	}
+	l.mu.Unlock()
+}
+
+// snapshot returns the retained events in emission order plus the count
+// of events dropped to the capacity bound.
+func (l *eventLog) snapshot() ([]Event, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out, l.dropped
+}
+
+// Emit appends one structured event to the run's event log, stamping
+// its sequence number and time offset. Safe for concurrent use; no-op
+// on a nil receiver.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	e.TMS = r.sinceStartMS()
+	r.events.emit(e)
+}
+
+// Events returns the retained events in emission order and how many
+// older events the capacity bound dropped. Nil receivers report nothing.
+func (r *Recorder) Events() ([]Event, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	return r.events.snapshot()
+}
+
+// SetEventCapacity resizes the event log bound (minimum 1), dropping
+// retained events. Call before the run starts. Nil-safe.
+func (r *Recorder) SetEventCapacity(n int) {
+	if r == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	l := r.events
+	l.mu.Lock()
+	l.cap = n
+	l.buf = l.buf[:0]
+	l.next = 0
+	l.mu.Unlock()
+}
+
+// WriteEvents drains the retained events as JSONL, one event per line
+// in emission order. A nil recorder writes nothing.
+func (r *Recorder) WriteEvents(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	events, _ := r.events.snapshot()
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EventsDropped reports how many events the capacity bound has
+// discarded so far (0 on a nil receiver).
+func (r *Recorder) EventsDropped() int64 {
+	if r == nil {
+		return 0
+	}
+	_, dropped := r.events.snapshot()
+	return dropped
+}

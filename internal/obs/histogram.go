@@ -124,8 +124,35 @@ type HistogramSnapshot struct {
 	MaxNS   int64             `json:"max_ns"`
 	P50NS   int64             `json:"p50_ns"`
 	P90NS   int64             `json:"p90_ns"`
+	P95NS   int64             `json:"p95_ns"`
 	P99NS   int64             `json:"p99_ns"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Quantile re-estimates the q-th quantile (0 < q <= 1) from the
+// snapshot's buckets, with the same bucket-resolution semantics as
+// Histogram.Quantile — so ledger readers can compute any quantile, not
+// just the pre-serialized three. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			upper := b.UpperNS
+			if upper > s.MaxNS {
+				upper = s.MaxNS
+			}
+			return time.Duration(upper)
+		}
+	}
+	return time.Duration(s.MaxNS)
 }
 
 // Snapshot captures the histogram's current state (zero value on a nil
@@ -145,6 +172,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.MaxNS = h.max.Load()
 	s.P50NS = h.Quantile(0.50).Nanoseconds()
 	s.P90NS = h.Quantile(0.90).Nanoseconds()
+	s.P95NS = h.Quantile(0.95).Nanoseconds()
 	s.P99NS = h.Quantile(0.99).Nanoseconds()
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {

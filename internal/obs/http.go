@@ -13,8 +13,11 @@ import (
 // Server exposes a recorder over HTTP while a run is in flight:
 //
 //	/metrics   JSON snapshot of every counter, gauge, and histogram
+//	           (?format=prom switches to Prometheus text exposition)
 //	/progress  tuples done, reuse rate, invocations so far
-//	/trace     the span dump (same shape as -trace-out)
+//	/trace     the span dump (same shape as -trace-out;
+//	           ?format=chrome emits Chrome trace-event JSON for Perfetto)
+//	/events    the structured event log as JSONL (same shape as -events-out)
 //	/debug/pprof/  the standard Go profiling endpoints
 //
 // Use Serve with addr ":0" to pick a free port; Addr reports the bound
@@ -40,9 +43,16 @@ func Serve(addr string, rec *Recorder) (*Server, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "shahin observability\n\n/metrics\n/progress\n/trace\n/debug/pprof/\n")
+		fmt.Fprint(w, "shahin observability\n\n/metrics (?format=prom)\n/progress\n/trace (?format=chrome)\n/events\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := rec.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		writeJSON(w, rec.Metrics())
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
@@ -50,7 +60,19 @@ func Serve(addr string, rec *Recorder) (*Server, error) {
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := rec.WriteTrace(w); err != nil {
+		var err error
+		if req.URL.Query().Get("format") == "chrome" {
+			err = rec.WriteChromeTrace(w)
+		} else {
+			err = rec.WriteTrace(w)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := rec.WriteEvents(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
@@ -78,6 +79,67 @@ func TestServeEndpoints(t *testing.T) {
 			t.Fatalf("/nope status %d", resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+// TestServeFormatsAndEvents covers the export adapters on the HTTP
+// surface: Prometheus text at /metrics?format=prom, Chrome trace-event
+// JSON at /trace?format=chrome, and the JSONL event log at /events.
+func TestServeFormatsAndEvents(t *testing.T) {
+	rec := NewRecorder()
+	rec.Counter(CounterInvocations).Add(7)
+	span := rec.StartSpan(StageBatch)
+	span.End()
+	rec.Emit(Event{Type: EventTupleExplained, Tuple: 0, Explainer: "LIME", Fresh: 121})
+	rec.Emit(Event{Type: EventTupleExplained, Tuple: 1, Explainer: "LIME", Pooled: 80, Fresh: 41})
+
+	srv, err := Serve("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path, wantType string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wantType {
+			t.Errorf("GET %s: Content-Type %q, want %q", path, ct, wantType)
+		}
+		return body
+	}
+
+	prom := string(get("/metrics?format=prom", "text/plain; version=0.0.4; charset=utf-8"))
+	if !strings.Contains(prom, "shahin_classifier_invocations 7") {
+		t.Errorf("prom exposition missing counter:\n%s", prom)
+	}
+
+	var chrome []ChromeEvent
+	if err := json.Unmarshal(get("/trace?format=chrome", "application/json"), &chrome); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v", err)
+	}
+	if len(chrome) != 1 || chrome[0].Name != StageBatch || chrome[0].Ph != "X" {
+		t.Fatalf("chrome events %+v", chrome)
+	}
+
+	lines := strings.Split(strings.TrimRight(string(get("/events", "application/x-ndjson")), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d event lines", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("event line not JSON: %v", err)
+	}
+	if ev.Tuple != 1 || ev.Pooled != 80 {
+		t.Fatalf("event %+v", ev)
 	}
 }
 

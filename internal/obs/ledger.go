@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// LedgerSchemaVersion stamps every ledger so future readers can detect
+// old artifacts.
+const LedgerSchemaVersion = 1
+
+// EnvFingerprint pins the environment a ledger was produced on, so a
+// regression diff can tell an algorithmic change from a hardware or
+// toolchain change.
+type EnvFingerprint struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GitCommit string `json:"git_commit,omitempty"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+}
+
+// Fingerprint captures the current environment. The git commit comes
+// from the binary's embedded build info when available (test binaries
+// and `go run` builds may not carry it).
+func Fingerprint() EnvFingerprint {
+	fp := EnvFingerprint{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				fp.GitCommit = s.Value
+			case "vcs.modified":
+				fp.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return fp
+}
+
+// RunLedger is the persistent, machine-readable artifact of one run:
+// everything needed to diff two runs lands in a single canonical JSON
+// document (BENCH_<name>.json by convention). Config, Report, and
+// Tables are schema-free slots — the bench layer fills them with its
+// own JSON-marshaling types; after a round-trip through ReadLedger they
+// come back as generic JSON values.
+type RunLedger struct {
+	Schema int            `json:"schema"`
+	Name   string         `json:"name"`
+	Env    EnvFingerprint `json:"env"`
+	// WallMS is the end-to-end wall time of the run being ledgered.
+	WallMS float64 `json:"wall_ms"`
+	Config any     `json:"config,omitempty"`
+	Report any     `json:"report,omitempty"`
+	// Metrics is the recorder snapshot: counters (the invocation
+	// ledger), gauges, and stage histograms with p50/p95/p99.
+	Metrics       Metrics            `json:"metrics"`
+	StageTotalsMS map[string]float64 `json:"stage_totals_ms"`
+	Tables        []any              `json:"tables,omitempty"`
+	EventsDropped int64              `json:"events_dropped"`
+}
+
+// Ledger snapshots the recorder into a new RunLedger: environment
+// fingerprint, metric snapshot, per-stage wall-time totals, and the
+// event-log drop count. The caller attaches Config, Report, and Tables.
+// Returns an empty (but valid) ledger on a nil receiver.
+func (r *Recorder) Ledger(name string) *RunLedger {
+	l := &RunLedger{
+		Schema:        LedgerSchemaVersion,
+		Name:          name,
+		Env:           Fingerprint(),
+		StageTotalsMS: map[string]float64{},
+	}
+	if r == nil {
+		l.Metrics = (*Recorder)(nil).Metrics()
+		return l
+	}
+	l.Metrics = r.Metrics()
+	l.WallMS = r.sinceStartMS()
+	for stage, d := range r.StageTotals() {
+		l.StageTotalsMS[stage] = float64(d) / float64(time.Millisecond)
+	}
+	l.EventsDropped = r.EventsDropped()
+	return l
+}
+
+// ReuseRatio derives the ledger's reuse ratio from its well-known
+// counters: reused / (reused + invocations), 0 with no traffic (or on
+// a nil ledger).
+func (l *RunLedger) ReuseRatio() float64 {
+	if l == nil {
+		return 0
+	}
+	reused := float64(l.Metrics.Counters[CounterReusedSamples])
+	inv := float64(l.Metrics.Counters[CounterInvocations])
+	if reused+inv == 0 {
+		return 0
+	}
+	return reused / (reused + inv)
+}
+
+// WriteLedger writes the ledger as canonical indented JSON (map keys
+// sorted by encoding/json, two-space indent, trailing newline).
+func WriteLedger(w io.Writer, l *RunLedger) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// ReadLedger parses a ledger written by WriteLedger, rejecting
+// documents without the ledger schema stamp.
+func ReadLedger(rd io.Reader) (*RunLedger, error) {
+	var l RunLedger
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&l); err != nil {
+		return nil, fmt.Errorf("obs: parsing ledger: %w", err)
+	}
+	if l.Schema < 1 || l.Schema > LedgerSchemaVersion {
+		return nil, fmt.Errorf("obs: ledger schema %d not supported (want 1..%d)", l.Schema, LedgerSchemaVersion)
+	}
+	return &l, nil
+}
+
+// Thresholds configures when a ledger diff counts as a regression.
+// Invocations and Wall are allowed fractional increases (0 means any
+// increase regresses — right for deterministic invocation counts);
+// Reuse is the allowed absolute drop in the reuse ratio.
+type Thresholds struct {
+	Invocations float64
+	Wall        float64
+	Reuse       float64
+}
+
+// Delta is one row of a ledger diff.
+type Delta struct {
+	Metric    string  `json:"metric"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	Diff      float64 `json:"diff"`
+	Gated     bool    `json:"gated"`
+	Regressed bool    `json:"regressed"`
+}
+
+// CompareLedgers diffs two ledgers — prev (the baseline) against curr
+// (the fresh run): every counter appearing in either, plus the derived
+// reuse ratio and the wall time. The three gated
+// metrics — classifier invocations, reuse ratio, wall time — are
+// checked against the thresholds; the returned flag reports whether any
+// regressed.
+func CompareLedgers(prev, curr *RunLedger, th Thresholds) ([]Delta, bool) {
+	names := make([]string, 0, len(prev.Metrics.Counters)+len(curr.Metrics.Counters))
+	seen := map[string]bool{}
+	for name := range prev.Metrics.Counters {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for name := range curr.Metrics.Counters {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var deltas []Delta
+	regressed := false
+	for _, name := range names {
+		d := Delta{
+			Metric: name,
+			Old:    float64(prev.Metrics.Counters[name]),
+			New:    float64(curr.Metrics.Counters[name]),
+		}
+		d.Diff = d.New - d.Old
+		if name == CounterInvocations {
+			d.Gated = true
+			d.Regressed = exceedsFraction(d.Old, d.New, th.Invocations)
+		}
+		regressed = regressed || d.Regressed
+		deltas = append(deltas, d)
+	}
+
+	reuse := Delta{Metric: "reuse_ratio", Old: prev.ReuseRatio(), New: curr.ReuseRatio(), Gated: true}
+	reuse.Diff = reuse.New - reuse.Old
+	reuse.Regressed = reuse.Old-reuse.New > th.Reuse
+	regressed = regressed || reuse.Regressed
+	deltas = append(deltas, reuse)
+
+	wall := Delta{Metric: "wall_ms", Old: prev.WallMS, New: curr.WallMS, Gated: true}
+	wall.Diff = wall.New - wall.Old
+	wall.Regressed = exceedsFraction(wall.Old, wall.New, th.Wall)
+	regressed = regressed || wall.Regressed
+	deltas = append(deltas, wall)
+
+	return deltas, regressed
+}
+
+// exceedsFraction reports whether curr exceeds prev by more than the
+// allowed fractional increase.
+func exceedsFraction(prev, curr, allowed float64) bool {
+	if curr <= prev {
+		return false
+	}
+	if prev == 0 {
+		return true
+	}
+	return (curr-prev)/prev > allowed
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFingerprint(t *testing.T) {
+	fp := Fingerprint()
+	if fp.GoVersion != runtime.Version() {
+		t.Errorf("go version %q", fp.GoVersion)
+	}
+	if fp.GOOS != runtime.GOOS || fp.GOARCH != runtime.GOARCH {
+		t.Errorf("platform %s/%s", fp.GOOS, fp.GOARCH)
+	}
+	if fp.NumCPU < 1 {
+		t.Errorf("num cpu %d", fp.NumCPU)
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Counter(CounterInvocations).Add(1000)
+	r.Counter(CounterReusedSamples).Add(3000)
+	r.Histogram(HistExplainTuple).Observe(2 * time.Millisecond)
+	span := r.StartSpan(StageBatch)
+	span.End()
+	r.Emit(Event{Type: EventPoolBuild, Tuple: -1})
+
+	l := r.Ledger("roundtrip")
+	l.Config = map[string]any{"seed": 1}
+	if got := l.ReuseRatio(); got != 0.75 {
+		t.Fatalf("reuse ratio = %v, want 0.75", got)
+	}
+	if l.WallMS < 0 || l.Schema != LedgerSchemaVersion {
+		t.Fatalf("ledger header %+v", l)
+	}
+	if _, ok := l.StageTotalsMS[StageBatch]; !ok {
+		t.Fatalf("stage totals %v missing %q", l.StageTotalsMS, StageBatch)
+	}
+	if h := l.Metrics.Histograms[HistExplainTuple]; h.P95NS <= 0 {
+		t.Fatalf("ledger histogram lacks p95: %+v", h)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteLedger(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "roundtrip" || back.Schema != LedgerSchemaVersion {
+		t.Fatalf("read back %+v", back)
+	}
+	if back.Metrics.Counters[CounterInvocations] != 1000 {
+		t.Fatalf("counters %v", back.Metrics.Counters)
+	}
+	if back.ReuseRatio() != 0.75 {
+		t.Fatalf("reuse ratio after round trip = %v", back.ReuseRatio())
+	}
+}
+
+func TestNilRecorderLedger(t *testing.T) {
+	var r *Recorder
+	l := r.Ledger("empty")
+	if l == nil || l.Schema != LedgerSchemaVersion || l.Name != "empty" {
+		t.Fatalf("nil recorder ledger %+v", l)
+	}
+	if l.ReuseRatio() != 0 {
+		t.Fatal("empty ledger reuse ratio should be 0")
+	}
+}
+
+func TestReadLedgerRejects(t *testing.T) {
+	if _, err := ReadLedger(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON should fail")
+	}
+	if _, err := ReadLedger(strings.NewReader(`{"name":"x"}`)); err == nil {
+		t.Fatal("missing schema stamp should fail")
+	}
+	if _, err := ReadLedger(strings.NewReader(`{"schema":999,"name":"x"}`)); err == nil {
+		t.Fatal("future schema should fail")
+	}
+}
+
+// mkLedger builds a minimal ledger with the given gated-metric values.
+func mkLedger(invocations, reused int64, wallMS float64) *RunLedger {
+	return &RunLedger{
+		Schema: LedgerSchemaVersion,
+		WallMS: wallMS,
+		Metrics: Metrics{Counters: map[string]int64{
+			CounterInvocations:   invocations,
+			CounterReusedSamples: reused,
+		}},
+	}
+}
+
+func TestCompareLedgers(t *testing.T) {
+	th := Thresholds{Invocations: 0, Wall: 0.5, Reuse: 0.001}
+	base := mkLedger(1000, 3000, 100)
+
+	check := func(name string, curr *RunLedger, wantRegressed bool) {
+		t.Helper()
+		deltas, regressed := CompareLedgers(base, curr, th)
+		if regressed != wantRegressed {
+			t.Errorf("%s: regressed = %v, want %v (%+v)", name, regressed, wantRegressed, deltas)
+		}
+	}
+
+	check("parity", mkLedger(1000, 3000, 100), false)
+	check("improvement", mkLedger(900, 3100, 80), false)
+	check("one extra invocation regresses at threshold 0", mkLedger(1001, 3000, 100), true)
+	check("reuse drop beyond threshold", mkLedger(1000, 2000, 100), true)
+	check("wall within generous threshold", mkLedger(1000, 3000, 149), false)
+	check("wall beyond threshold", mkLedger(1000, 3000, 151), true)
+
+	// The delta rows must cover every counter plus the two derived rows,
+	// sorted, with gating flags on exactly the three gated metrics.
+	deltas, _ := CompareLedgers(base, mkLedger(1000, 3000, 100), th)
+	gated := 0
+	for i, d := range deltas {
+		if i > 0 && deltas[i-1].Metric != "reuse_ratio" && deltas[i-1].Metric != "wall_ms" &&
+			d.Metric != "reuse_ratio" && d.Metric != "wall_ms" && deltas[i-1].Metric > d.Metric {
+			t.Errorf("counter deltas not sorted: %q before %q", deltas[i-1].Metric, d.Metric)
+		}
+		if d.Gated {
+			gated++
+		}
+	}
+	if gated != 3 {
+		t.Errorf("%d gated metrics, want 3 (%+v)", gated, deltas)
+	}
+
+	// A counter present only in the new run still shows up in the diff.
+	extra := mkLedger(1000, 3000, 100)
+	extra.Metrics.Counters["cache_evictions"] = 5
+	deltas, _ = CompareLedgers(base, extra, th)
+	found := false
+	for _, d := range deltas {
+		if d.Metric == "cache_evictions" && d.New == 5 && d.Old == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new-only counter missing from diff: %+v", deltas)
+	}
+}

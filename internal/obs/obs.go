@@ -68,7 +68,8 @@ const (
 // (or several runs — counters accumulate). All methods are safe for
 // concurrent use and safe on a nil receiver.
 type Recorder struct {
-	start time.Time
+	start  time.Time
+	events *eventLog
 
 	mu       sync.RWMutex
 	counters map[string]*Counter
@@ -81,10 +82,19 @@ type Recorder struct {
 func NewRecorder() *Recorder {
 	return &Recorder{
 		start:    time.Now(),
+		events:   &eventLog{cap: DefaultEventCapacity},
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// sinceStartMS returns milliseconds since the recorder's epoch.
+func (r *Recorder) sinceStartMS() float64 {
+	if r == nil {
+		return 0
+	}
+	return float64(time.Since(r.start)) / float64(time.Millisecond)
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -243,7 +253,12 @@ type Progress struct {
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`
 	CacheEvictions int64   `json:"cache_evictions"`
-	UptimeMS       float64 `json:"uptime_ms"`
+	// ExplainP50MS/P95MS/P99MS are the per-tuple explanation latency
+	// quantiles so far (bucket-resolution estimates).
+	ExplainP50MS float64 `json:"explain_p50_ms"`
+	ExplainP95MS float64 `json:"explain_p95_ms"`
+	ExplainP99MS float64 `json:"explain_p99_ms"`
+	UptimeMS     float64 `json:"uptime_ms"`
 }
 
 // Progress reads the well-known counters back into a Progress snapshot
@@ -265,6 +280,11 @@ func (r *Recorder) Progress() Progress {
 	if total := p.ReusedSamples + p.Invocations; total > 0 {
 		p.ReuseRate = float64(p.ReusedSamples) / float64(total)
 	}
+	h := r.Histogram(HistExplainTuple)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	p.ExplainP50MS = ms(h.Quantile(0.50))
+	p.ExplainP95MS = ms(h.Quantile(0.95))
+	p.ExplainP99MS = ms(h.Quantile(0.99))
 	return p
 }
 

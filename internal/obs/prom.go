@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): every counter as a `counter`,
+// every gauge as a `gauge`, and every histogram as a native prometheus
+// `histogram` with cumulative power-of-two `le` buckets plus `_sum` and
+// `_count` series. Metric names are sanitized (see promName) and
+// prefixed with "shahin_"; output order is deterministic. A nil
+// recorder writes nothing.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	m := r.Metrics()
+
+	names := make([]string, 0, len(m.Counters))
+	for name := range m.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := "shahin_" + promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Shahin counter %q.\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, m.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range m.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := "shahin_" + promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Shahin gauge %q.\n# TYPE %s gauge\n%s %d\n",
+			pn, name, pn, pn, m.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range m.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePromHistogram(w, name, m.Histograms[name]); err != nil {
+			return err
+		}
+	}
+
+	pn := "shahin_uptime_ms"
+	_, err := fmt.Fprintf(w, "# HELP %s Milliseconds since the recorder started.\n# TYPE %s gauge\n%s %s\n",
+		pn, pn, pn, formatPromFloat(m.UptimeMS))
+	return err
+}
+
+// writePromHistogram renders one histogram snapshot as a prometheus
+// histogram: cumulative bucket counts keyed by upper bound, then sum
+// and count.
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	pn := "shahin_" + promName(name)
+	if _, err := fmt.Fprintf(w, "# HELP %s Shahin histogram %q (power-of-two ns buckets).\n# TYPE %s histogram\n",
+		pn, name, pn); err != nil {
+		return err
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.UpperNS, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		pn, s.Count, pn, s.SumNS, pn, s.Count)
+	return err
+}
+
+// promName sanitizes a metric name to the prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every other rune (dashes, dots, spaces)
+// becomes an underscore, and a leading digit gets one prepended.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := []byte(name)
+	for i, c := range b {
+		valid := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' || c >= '0' && c <= '9'
+		if !valid {
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
+// formatPromFloat renders a float the way prometheus expects (shortest
+// round-trippable form).
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"classifier_invocations": "classifier_invocations",
+		"pool-build":             "pool_build",
+		"explain.tuple":          "explain_tuple",
+		"a b":                    "a_b",
+		"9lives":                 "_9lives",
+		"":                       "_",
+		"ns:stage":               "ns:stage",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promSampleLine matches one Prometheus text-format sample:
+// name{labels} value.
+var promSampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9eE+.\-]*$`)
+
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRecorder()
+	r.Counter("weird-name.metric").Add(3)
+	r.Counter(CounterInvocations).Add(1234)
+	r.Gauge(GaugeTuplesTotal).Set(40)
+	h := r.Histogram("explain.tuple")
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"shahin_weird_name_metric 3",
+		"shahin_classifier_invocations 1234",
+		"shahin_tuples_total 40",
+		"# TYPE shahin_explain_tuple histogram",
+		`shahin_explain_tuple_bucket{le="+Inf"} 2`,
+		"shahin_explain_tuple_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every line must be a comment or a well-formed sample, HELP/TYPE
+	// must precede their metric, and histogram buckets must be cumulative.
+	typed := map[string]bool{}
+	var lastCum int64 = -1
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if !promSampleLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Errorf("sample %q has no preceding HELP/TYPE", name)
+		}
+		if strings.HasPrefix(line, "shahin_explain_tuple_bucket{") {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if v < lastCum {
+				t.Errorf("bucket counts not cumulative: %d after %d in %q", v, lastCum, line)
+			}
+			lastCum = v
+		}
+	}
+
+	var nilRec *Recorder
+	buf.Reset()
+	if err := nilRec.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder wrote %q, err %v", buf.String(), err)
+	}
+}
