@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"shahin/internal/bench"
+	"shahin/internal/fault"
 	"shahin/internal/obs"
 )
 
@@ -46,6 +47,7 @@ var experiments = map[string]struct {
 	"ext-models":   {"Extension: speedup across classifiers", bench.ExtModels},
 	"ext-parallel": {"Extension: worker parallelism", bench.ExtParallel},
 	"smoke":        {"CI smoke: seq/batch/stream cost ledger at tiny scale", bench.Smoke},
+	"chaos":        {"Robustness: batch/stream under fault injection, retry, and circuit breaking", bench.Chaos},
 }
 
 // order fixes the default execution order. The smoke experiment is a CI
@@ -75,6 +77,16 @@ func main() {
 		thInv       = flag.Float64("th-invocations", 0, "compare: allowed fractional increase in classifier invocations (0 = counts must not grow)")
 		thWall      = flag.Float64("th-wall", 0.5, "compare: allowed fractional increase in wall time")
 		thReuse     = flag.Float64("th-reuse", 0.001, "compare: allowed absolute drop in reuse ratio")
+
+		failRate       = flag.Float64("fail-rate", 0, "fault injection: probability a classifier call fails transiently")
+		spikeRate      = flag.Float64("spike-rate", 0, "fault injection: probability a classifier call stalls for -spike-delay")
+		spikeDelay     = flag.Duration("spike-delay", 20*time.Millisecond, "fault injection: stall duration for latency spikes")
+		faultSeed      = flag.Int64("fault-seed", 0, "fault injection: RNG seed (0 derives one from -seed)")
+		predictTimeout = flag.Duration("predict-timeout", 0, "per-call classifier deadline (0 disables)")
+		retries        = flag.Int("retries", 3, "max retries of a transient classifier failure")
+		breakerThresh  = flag.Int("breaker-threshold", 5, "consecutive failures that open the circuit breaker (-1 disables)")
+		breakerCool    = flag.Duration("breaker-cooldown", 0, "wall-clock open->half-open breaker cooldown (0 = call-counted only)")
+		breakerCalls   = flag.Int64("breaker-cooldown-calls", 200, "rejected calls before an open breaker probes again")
 	)
 	flag.Parse()
 
@@ -136,6 +148,25 @@ func main() {
 	}
 	if *delay > 0 {
 		cfg.Delay = *delay
+	}
+	// A fault config is attached only when a fault flag is actually set,
+	// so plain runs keep the infallible (and byte-identical) fast path.
+	if *failRate > 0 || *spikeRate > 0 || *predictTimeout > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed + 17
+		}
+		cfg.Fault = &fault.Config{
+			FailRate:             *failRate,
+			SpikeRate:            *spikeRate,
+			SpikeDelay:           *spikeDelay,
+			Seed:                 fseed,
+			PredictTimeout:       *predictTimeout,
+			MaxRetries:           *retries,
+			BreakerThreshold:     *breakerThresh,
+			BreakerCooldown:      *breakerCool,
+			BreakerCooldownCalls: *breakerCalls,
+		}
 	}
 
 	ids := order

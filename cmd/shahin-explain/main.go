@@ -11,14 +11,23 @@
 //
 //	shahin-explain -dataset census -rows 5000 -explainer lime -mode batch -n 100
 //	shahin-explain -dataset census -data census.csv -explainer anchor -n 20
+//
+// Ctrl-C cancels the run: the explanations finished so far are printed
+// with a partial cost report, and unattempted tuples are marked failed.
+// The -fail-rate/-predict-timeout family runs the same pipeline against
+// a deliberately unreliable classifier backend (see README, Robustness).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"shahin"
 	"shahin/internal/datagen"
@@ -40,8 +49,19 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the JSON span dump to this file when done")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) when done")
 		eventsOut = flag.String("events-out", "", "write the structured event log (per-explanation provenance) as JSONL when done")
+
+		failRate       = flag.Float64("fail-rate", 0, "fault injection: probability a classifier call fails transiently")
+		spikeRate      = flag.Float64("spike-rate", 0, "fault injection: probability a classifier call stalls for -spike-delay")
+		spikeDelay     = flag.Duration("spike-delay", 20*time.Millisecond, "fault injection: stall duration for latency spikes")
+		predictTimeout = flag.Duration("predict-timeout", 0, "per-call classifier deadline (0 disables)")
+		retries        = flag.Int("retries", 3, "max retries of a transient classifier failure")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels in-flight work; the finished explanations are still
+	// printed below with a partial report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var rec *shahin.Recorder
 	if *obsAddr != "" || *traceOut != "" || *chromeOut != "" || *eventsOut != "" {
@@ -80,10 +100,21 @@ func main() {
 	}
 	tuples := test.Rows(0, *n)
 	opts := shahin.Options{Explainer: kind, Seed: *seed + 3, Workers: *workers, Recorder: rec}
+	if *failRate > 0 || *spikeRate > 0 || *predictTimeout > 0 {
+		opts.Fault = &shahin.FaultConfig{
+			FailRate:       *failRate,
+			SpikeRate:      *spikeRate,
+			SpikeDelay:     *spikeDelay,
+			Seed:           *seed + 17,
+			PredictTimeout: *predictTimeout,
+			MaxRetries:     *retries,
+		}
+	}
 
 	var (
 		explanations []shahin.Explanation
 		report       shahin.Report
+		canceled     bool
 	)
 	switch *mode {
 	case "batch":
@@ -91,10 +122,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := b.ExplainAll(tuples)
-		if err != nil {
+		res, err := b.ExplainAllCtx(ctx, tuples)
+		if res == nil {
 			fatal(err)
 		}
+		canceled = err != nil
 		explanations, report = res.Explanations, res.Report
 	case "stream":
 		s, err := shahin.NewStream(stats, model, opts)
@@ -102,7 +134,11 @@ func main() {
 			fatal(err)
 		}
 		for _, tup := range tuples {
-			exp, err := s.Explain(tup)
+			exp, err := s.ExplainCtx(ctx, tup)
+			if errors.Is(err, context.Canceled) {
+				canceled = true
+				break
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -110,17 +146,21 @@ func main() {
 		}
 		report = s.Report()
 	case "seq":
-		res, err := shahin.Sequential(stats, model, opts, tuples)
-		if err != nil {
+		res, err := shahin.SequentialCtx(ctx, stats, model, opts, tuples)
+		if res == nil {
 			fatal(err)
 		}
+		canceled = err != nil
 		explanations, report = res.Explanations, res.Report
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want batch, stream, or seq)", *mode))
 	}
 
 	for i, e := range explanations {
-		fmt.Printf("tuple %3d: %s\n", i, render(e, test.Schema, *topK))
+		fmt.Printf("tuple %3d: %s%s\n", i, render(e, test.Schema, *topK), statusMark(e.Status))
+	}
+	if canceled {
+		fmt.Printf("\ninterrupted: %d of %d tuples explained before cancellation\n", attempted(explanations), len(tuples))
 	}
 	fmt.Printf("\n%s\n", report.String())
 	if *traceOut != "" {
@@ -157,18 +197,44 @@ func writeArtifact(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-// render formats one explanation for the terminal.
+// render formats one explanation for the terminal. Tuples left
+// unattempted by a cancelled run have neither payload.
 func render(e shahin.Explanation, schema *shahin.Schema, topK int) string {
 	if e.Rule != nil {
 		return e.Rule.Describe(schema)
 	}
 	att := e.Attribution
+	if att == nil {
+		return "(not explained)"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "class=%s:", schema.Classes[att.Class])
 	for _, a := range att.TopK(topK) {
 		fmt.Fprintf(&b, " %s=%.3f", schema.Attrs[a].Name, att.Weights[a])
 	}
 	return b.String()
+}
+
+// statusMark annotates non-OK explanations in the tuple listing.
+func statusMark(s shahin.Status) string {
+	switch s {
+	case shahin.StatusDegraded:
+		return "  [degraded]"
+	case shahin.StatusFailed:
+		return "  [failed]"
+	}
+	return ""
+}
+
+// attempted counts explanations that actually ran (OK or degraded).
+func attempted(exps []shahin.Explanation) int {
+	n := 0
+	for _, e := range exps {
+		if e.Status != shahin.StatusFailed {
+			n++
+		}
+	}
+	return n
 }
 
 // loadData reads the CSV when given, else generates synthetic tuples.

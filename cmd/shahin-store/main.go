@@ -7,13 +7,19 @@
 //
 //	shahin-store -mode build -dataset census -rows 5000 -n 500 -o exps.gob
 //	shahin-store -mode lookup -dataset census -rows 5000 -store exps.gob -tuple 17
+//
+// Ctrl-C during a build cancels the batch run and flushes the
+// explanations finished so far, so a long pre-compute interrupted near
+// the end still yields a usable (partial) store.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"shahin"
@@ -79,11 +85,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := batch.ExplainAll(tuples)
-		if err != nil {
+		// Ctrl-C cancels the run; whatever finished is still flushed.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		res, err := batch.ExplainAllCtx(ctx, tuples)
+		stop()
+		if res == nil {
 			fatal(err)
 		}
-		st, err := shahin.BuildExplanationStore(tuples, res.Explanations)
+		doneTuples, doneExps := tuples, res.Explanations
+		if err != nil {
+			doneTuples, doneExps = finished(tuples, res.Explanations)
+			fmt.Printf("interrupted: flushing %d of %d explanations\n", len(doneExps), len(tuples))
+		}
+		st, err := shahin.BuildExplanationStore(doneTuples, doneExps)
 		if err != nil {
 			fatal(err)
 		}
@@ -145,6 +159,22 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want build or lookup)", *mode))
 	}
+}
+
+// finished keeps only the tuples a cancelled run actually explained
+// (unattempted ones carry StatusFailed and no payload).
+func finished(tuples [][]float64, exps []shahin.Explanation) ([][]float64, []shahin.Explanation) {
+	var (
+		ts [][]float64
+		es []shahin.Explanation
+	)
+	for i, e := range exps {
+		if e.Status != shahin.StatusFailed && (e.Attribution != nil || e.Rule != nil) {
+			ts = append(ts, tuples[i])
+			es = append(es, e)
+		}
+	}
+	return ts, es
 }
 
 // writeArtifact dumps one recorder artifact (span tree, event log) to

@@ -22,6 +22,7 @@ import (
 	"shahin/internal/explain/anchor"
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
+	"shahin/internal/fault"
 	"shahin/internal/obs"
 	"shahin/internal/rf"
 )
@@ -40,6 +41,12 @@ type Config struct {
 	LIMESamples int // LIME perturbation budget N (default 400)
 	SHAPSamples int // SHAP coalition budget M (default 256)
 	Tau         int // perturbations per frequent itemset (default 100)
+
+	// Fault, when non-nil, runs every experiment against a fallible
+	// classifier backend: injected transient errors, latency spikes,
+	// outage windows, per-call deadlines, retry/backoff, and the circuit
+	// breaker, all per the config. nil keeps the backend infallible.
+	Fault *fault.Config
 
 	// Recorder, when non-nil, instruments every run of the suite: spans
 	// per stage, live counters, and latency histograms, servable over
@@ -109,6 +116,7 @@ func (c Config) Options(kind core.Kind) core.Options {
 		Anchor:    anchor.Config{MaxPulls: 2000, BatchPulls: 25},
 		Tau:       c.Tau,
 		Seed:      c.Seed + 100,
+		Fault:     c.Fault,
 		Recorder:  c.Recorder,
 	}
 }

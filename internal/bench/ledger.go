@@ -7,23 +7,25 @@ import (
 	"time"
 
 	"shahin/internal/core"
+	"shahin/internal/fault"
 	"shahin/internal/obs"
 )
 
 // configJSON is the serializable view of a Config embedded in every run
 // ledger (the Recorder itself is runtime state, not configuration).
 type configJSON struct {
-	Rows        int      `json:"rows"`
-	Batch       int      `json:"batch"`
-	Batches     []int    `json:"batches"`
-	Trees       int      `json:"trees"`
-	DelayNS     int64    `json:"delay_ns"`
-	Delay       string   `json:"delay"`
-	Seed        int64    `json:"seed"`
-	LIMESamples int      `json:"lime_samples"`
-	SHAPSamples int      `json:"shap_samples"`
-	Tau         int      `json:"tau"`
-	Experiments []string `json:"experiments,omitempty"`
+	Rows        int           `json:"rows"`
+	Batch       int           `json:"batch"`
+	Batches     []int         `json:"batches"`
+	Trees       int           `json:"trees"`
+	DelayNS     int64         `json:"delay_ns"`
+	Delay       string        `json:"delay"`
+	Seed        int64         `json:"seed"`
+	LIMESamples int           `json:"lime_samples"`
+	SHAPSamples int           `json:"shap_samples"`
+	Tau         int           `json:"tau"`
+	Fault       *fault.Config `json:"fault,omitempty"`
+	Experiments []string      `json:"experiments,omitempty"`
 }
 
 // ledgerView converts the config (post-Fill) to its ledger form.
@@ -39,6 +41,7 @@ func (c Config) ledgerView(experiments []string) configJSON {
 		LIMESamples: c.LIMESamples,
 		SHAPSamples: c.SHAPSamples,
 		Tau:         c.Tau,
+		Fault:       c.Fault,
 		Experiments: experiments,
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,12 +16,21 @@ import (
 // the baseline every speedup ratio in the paper is measured against.
 // Anchor runs with fresh per-tuple caches; LIME and SHAP get no pool.
 func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64) (*Result, error) {
+	return SequentialCtx(context.Background(), st, cls, opts, tuples)
+}
+
+// SequentialCtx is Sequential under a context: cancellation stops the
+// loop between tuples and returns the finished explanations as a
+// partial *Result alongside ctx.Err(); unattempted tuples carry
+// StatusFailed.
+func SequentialCtx(ctx context.Context, st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64) (*Result, error) {
 	if len(tuples) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
 	opts = opts.withDefaults()
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	rng := rand.New(rand.NewSource(opts.Seed))
+	fb := buildBridge(ctx, opts, st, cls)
 
 	rec := opts.Recorder
 	root := rec.StartSpan(obs.StageSequential)
@@ -34,7 +44,7 @@ func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]f
 	if opts.Explainer == Anchor {
 		covRows = itemizeSample(st, tuples, fim.SampleSize(len(tuples)), rng)
 	}
-	eng := newEngine(opts, st, cls, covRows, rng)
+	eng := newEngineBridge(opts, st, cls, covRows, rng, fb)
 
 	explainSpan := root.Child(obs.StageExplain)
 	var (
@@ -45,8 +55,15 @@ func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]f
 		tupleHist = rec.Histogram(obs.HistExplainTuple)
 		doneCtr = rec.Counter(obs.CounterTuplesDone)
 	}
-	out := make([]Explanation, 0, len(tuples))
+	out := make([]Explanation, len(tuples))
 	for i, t := range tuples {
+		if ctx.Err() != nil {
+			for j := i; j < len(tuples); j++ {
+				out[j].Status = StatusFailed
+			}
+			break
+		}
+		eng.beginTuple()
 		var (
 			tupleStart time.Time
 			inv0       int64
@@ -59,30 +76,44 @@ func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]f
 		if err != nil {
 			return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
 		}
+		exp.Status = eng.tupleStatus()
 		if tupleHist != nil {
 			dur := time.Since(tupleStart)
 			tupleHist.Observe(dur)
 			doneCtr.Inc()
-			rec.Emit(obs.Event{
+			ev := obs.Event{
 				Type: obs.EventTupleExplained, Tuple: i,
 				Explainer: opts.Explainer.String(),
 				Fresh:     eng.invocations() - inv0,
 				DurMS:     float64(dur) / float64(time.Millisecond),
-			})
+			}
+			if exp.Status != StatusOK {
+				ev.Status = exp.Status.String()
+			}
+			rec.Emit(ev)
 		}
-		out = append(out, exp)
+		out[i] = exp
 	}
 	explainSpan.End()
 	wall := time.Since(start)
-	return &Result{
-		Explanations: out,
-		Report: Report{
-			Tuples:      len(tuples),
-			WallTime:    wall,
-			ExplainTime: wall,
-			Invocations: eng.invocations(),
-		},
-	}, nil
+	rep := Report{
+		Tuples:      len(tuples),
+		WallTime:    wall,
+		ExplainTime: wall,
+		Invocations: eng.invocations(),
+	}
+	for i := range out {
+		switch out[i].Status {
+		case StatusDegraded:
+			rep.Degraded++
+		case StatusFailed:
+			rep.Failed++
+		}
+	}
+	if fb != nil {
+		rep.Retries = fb.chain.Stats().Retries
+	}
+	return &Result{Explanations: out, Report: rep}, ctx.Err()
 }
 
 // Dist is the paper's DIST-k baseline: the batch is split evenly across k
@@ -93,6 +124,13 @@ func Sequential(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]f
 // contending goroutines, which would measure local core count instead of
 // cluster size.
 func Dist(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64, k int) (*Result, error) {
+	return DistCtx(context.Background(), st, cls, opts, tuples, k)
+}
+
+// DistCtx is Dist under a context: cancellation stops the simulation
+// between (and inside) machines, returning the explanations finished so
+// far as a partial *Result alongside ctx.Err().
+func DistCtx(ctx context.Context, st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: Dist needs k >= 1, got %d", k)
 	}
@@ -104,9 +142,9 @@ func Dist(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64
 		k = len(tuples)
 	}
 
+	out := make([]Explanation, len(tuples))
 	var (
-		all      []Explanation
-		invs     int64
+		rep      Report
 		total    time.Duration
 		machines int
 	)
@@ -120,28 +158,43 @@ func Dist(st *dataset.Stats, cls rf.Classifier, opts Options, tuples [][]float64
 		if lo >= hi {
 			continue
 		}
+		if ctx.Err() != nil {
+			for j := lo; j < len(tuples); j++ {
+				out[j].Status = StatusFailed
+			}
+			break
+		}
 		wopts := opts
 		wopts.Seed = opts.Seed + int64(w)*1_000_003
-		res, err := Sequential(st, cls, wopts, tuples[lo:hi])
-		if err != nil {
+		res, err := SequentialCtx(ctx, st, cls, wopts, tuples[lo:hi])
+		if res != nil {
+			copy(out[lo:hi], res.Explanations)
+			rep.Invocations += res.Report.Invocations
+			rep.Retries += res.Report.Retries
+			total += res.Report.WallTime
+			machines++
+		}
+		if err != nil && ctx.Err() == nil {
 			return nil, fmt.Errorf("core: Dist machine %d: %w", w, err)
 		}
-		all = append(all, res.Explanations...)
-		invs += res.Report.Invocations
-		total += res.Report.WallTime
-		machines++
 	}
 	// Each machine's Sequential run set the gauge to its chunk size;
 	// restore the batch-wide total for live progress readers.
 	opts.Recorder.Gauge(obs.GaugeTuplesTotal).Set(int64(len(tuples)))
-	wall := total / time.Duration(machines)
-	return &Result{
-		Explanations: all,
-		Report: Report{
-			Tuples:      len(tuples),
-			WallTime:    wall,
-			ExplainTime: wall,
-			Invocations: invs,
-		},
-	}, nil
+	var wall time.Duration
+	if machines > 0 {
+		wall = total / time.Duration(machines)
+	}
+	rep.Tuples = len(tuples)
+	rep.WallTime = wall
+	rep.ExplainTime = wall
+	for i := range out {
+		switch out[i].Status {
+		case StatusDegraded:
+			rep.Degraded++
+		case StatusFailed:
+			rep.Failed++
+		}
+	}
+	return &Result{Explanations: out, Report: rep}, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -39,12 +40,24 @@ func NewBatch(st *dataset.Stats, cls rf.Classifier, opts Options) (*Batch, error
 // ExplainAll explains every tuple of the batch and returns the
 // explanations in input order together with the run's cost report.
 func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
+	return b.ExplainAllCtx(context.Background(), tuples)
+}
+
+// ExplainAllCtx is ExplainAll under a context: cancelling ctx stops the
+// run between predictions and returns the explanations finished so far
+// as a partial *Result alongside ctx.Err(). Tuples not attempted (and
+// ones cut off mid-explanation) carry StatusFailed; the partial Report
+// still satisfies the event-reconciliation identity. With a background
+// context and no Options.Fault the run takes the exact pre-fault code
+// path and produces byte-identical explanations.
+func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, error) {
 	if len(tuples) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
 	opts := b.opts
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	rng := rand.New(rand.NewSource(opts.Seed))
+	fb := buildBridge(ctx, opts, b.st, b.cls)
 
 	rec := opts.Recorder
 	root := rec.StartSpan(obs.StageBatch)
@@ -93,7 +106,7 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	mineSpan.SetAttr("frequent_itemsets", len(frequent))
 	mineSpan.End()
 
-	eng := newEngine(opts, b.st, b.cls, rows, rng)
+	eng := newEngineBridge(opts, b.st, b.cls, rows, rng, fb)
 	gen := perturb.NewGenerator(b.st, rng)
 
 	// Step 2: materialise and label τ perturbations per frequent itemset.
@@ -110,12 +123,23 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	case Anchor:
 		sh = anchor.NewShared(eng.cls.NumClasses(), opts.CacheBytes)
 		sh.Repo.SetHooks(cacheHooks(rec))
-		seedAnchor(sh, eng.cls, gen, frequent, opts.Tau, rec)
+		seedAnchor(ctx, sh, eng.cls, gen, frequent, opts.Tau, rec)
+		if fb != nil {
+			anchorSets := make([]dataset.Itemset, len(frequent))
+			for i, mnd := range frequent {
+				anchorSets[i] = mnd.Set
+			}
+			fb.setPool(sh.Repo, anchorSets)
+		}
 	default:
 		repo = cache.NewRepo(opts.CacheBytes)
 		repo.SetHooks(cacheHooks(rec))
 		sets = make([]dataset.Itemset, len(frequent))
 		for i, mnd := range frequent {
+			if ctx.Err() != nil {
+				sets = sets[:i]
+				break
+			}
 			var setStart time.Time
 			if rec != nil {
 				setStart = time.Now() //shahinvet:allow walltime — per-itemset pre-label timing feeds the obs event log
@@ -138,6 +162,9 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 			}
 		}
 		pool = newItemsetPool(repo, sets, rec)
+		if fb != nil {
+			fb.setPool(repo, sets)
+		}
 	}
 	poolInv := eng.invocations()
 	poolTime := time.Since(poolStart)
@@ -169,22 +196,26 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 		tupleHist = rec.Histogram(obs.HistExplainTuple)
 		doneCtr = rec.Counter(obs.CounterTuplesDone)
 	}
-	var out []Explanation
+	out := make([]Explanation, len(tuples))
 	if pool != nil && opts.Workers > 1 {
-		var err error
-		out, err = b.explainParallel(tuples, repo, sets, opts, &rep)
-		if err != nil {
+		if err := b.explainParallel(ctx, tuples, out, repo, sets, opts, &rep, fb); err != nil {
 			return nil, err
 		}
 		rep.Invocations += poolInv
 	} else {
-		out = make([]Explanation, 0, len(tuples))
 		for i, t := range tuples {
+			if ctx.Err() != nil {
+				for j := i; j < len(tuples); j++ {
+					out[j].Status = StatusFailed
+				}
+				break
+			}
 			var pl explain.Pool
 			if pool != nil {
 				pool.beginTuple()
 				pl = pool
 			}
+			eng.beginTuple()
 			var (
 				tupleStart time.Time
 				inv0       int64
@@ -201,6 +232,7 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: explaining tuple %d: %w", i, err)
 			}
+			exp.Status = eng.tupleStatus()
 			if tupleHist != nil {
 				dur := time.Since(tupleStart)
 				tupleHist.Observe(dur)
@@ -216,9 +248,12 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 				} else if sh != nil {
 					ev.CacheHits = sh.Repo.Stats().Hits - anchorHits
 				}
+				if exp.Status != StatusOK {
+					ev.Status = exp.Status.String()
+				}
 				rec.Emit(ev)
 			}
-			out = append(out, exp)
+			out[i] = exp
 		}
 		rep.Invocations = eng.invocations()
 		if pool != nil {
@@ -234,15 +269,30 @@ func (b *Batch) ExplainAll(tuples [][]float64) (*Result, error) {
 	if sh != nil {
 		rep.Cache = sh.Repo.Stats()
 	}
+	for i := range out {
+		switch out[i].Status {
+		case StatusDegraded:
+			rep.Degraded++
+		case StatusFailed:
+			rep.Failed++
+		}
+	}
+	if fb != nil {
+		rep.Retries = fb.chain.Stats().Retries
+	}
 	rep.WallTime = time.Since(start)
-	return &Result{Explanations: out, Report: rep}, nil
+	return &Result{Explanations: out, Report: rep}, ctx.Err()
 }
 
-// explainParallel runs the per-tuple phase on opts.Workers goroutines.
-// Each worker gets its own engine (with an independent RNG and invocation
-// counter) and its own pool view over a frozen snapshot of the
-// repository, so no synchronisation is needed on the hot path.
-func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dataset.Itemset, opts Options, rep *Report) ([]Explanation, error) {
+// explainParallel runs the per-tuple phase on opts.Workers goroutines,
+// filling out in place. Each worker gets its own engine (with an
+// independent RNG and invocation counter), its own pool view over a
+// frozen snapshot of the repository, and — when the run is fallible —
+// its own fork of the bridge (the fault chain underneath is shared and
+// internally locked), so no synchronisation is needed on the hot path.
+// Cancelling ctx stops every worker between tuples; slots never
+// attempted are marked StatusFailed.
+func (b *Batch) explainParallel(ctx context.Context, tuples [][]float64, out []Explanation, repo *cache.Repo, sets []dataset.Itemset, opts Options, rep *Report, fb *fallibleBridge) error {
 	snap := repo.Snapshot()
 	workers := opts.Workers
 	if workers > len(tuples) {
@@ -257,21 +307,32 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 		tupleHist = rec.Histogram(obs.HistExplainTuple)
 		doneCtr = rec.Counter(obs.CounterTuplesDone)
 	}
-	out := make([]Explanation, len(tuples))
 	engines := make([]*engine, workers)
 	pools := make([]*itemsetPool, workers)
 	errs := make([]error, workers)
+	attempted := make([][]bool, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wopts := opts
 		wopts.Seed = opts.Seed + 7919*int64(w+1)
-		engines[w] = newEngine(wopts, b.st, b.cls, nil, rand.New(rand.NewSource(wopts.Seed)))
+		var wfb *fallibleBridge
+		if fb != nil {
+			wfb = fb.fork()
+			wfb.setPool(snap, sets)
+		}
+		engines[w] = newEngineBridge(wopts, b.st, b.cls, nil, rand.New(rand.NewSource(wopts.Seed)), wfb)
 		pools[w] = newItemsetPool(snap, sets, rec)
+		attempted[w] = make([]bool, len(tuples))
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(tuples); i += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				attempted[w][i] = true
 				pools[w].beginTuple()
+				engines[w].beginTuple()
 				var (
 					tupleStart time.Time
 					inv0       int64
@@ -285,6 +346,7 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 					errs[w] = fmt.Errorf("core: explaining tuple %d: %w", i, err)
 					return
 				}
+				exp.Status = engines[w].tupleStatus()
 				if tupleHist != nil {
 					dur := time.Since(tupleStart)
 					tupleHist.Observe(dur)
@@ -296,6 +358,9 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 						DurMS:     float64(dur) / float64(time.Millisecond),
 					}
 					ev.Pooled, ev.CacheHits, ev.Itemset = pools[w].provenance()
+					if exp.Status != StatusOK {
+						ev.Status = exp.Status.String()
+					}
 					rec.Emit(ev)
 				}
 				out[i] = exp
@@ -305,7 +370,14 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
+		}
+	}
+	if ctx.Err() != nil {
+		for i := range out {
+			if !attempted[i%workers][i] {
+				out[i].Status = StatusFailed
+			}
 		}
 	}
 	for w := 0; w < workers; w++ {
@@ -315,7 +387,7 @@ func (b *Batch) explainParallel(tuples [][]float64, repo *cache.Repo, sets []dat
 			rep.OverheadTime += pools[w].retrieval / time.Duration(workers)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // effectiveSupport raises the relative support threshold so that the
@@ -381,9 +453,13 @@ func itemizeSample(st *dataset.Stats, tuples [][]float64, n int, rng *rand.Rand)
 // shared repository, their class histogram into the invariant cache, and
 // the mined support doubles as the rule's coverage. Each seeded rule
 // emits a pre_label provenance event when a recorder is attached.
-func seedAnchor(sh *anchor.Shared, cls rf.Classifier, gen *perturb.Generator, frequent []fim.Mined, tau int, rec *obs.Recorder) {
+// Cancelling ctx stops seeding between itemsets.
+func seedAnchor(ctx context.Context, sh *anchor.Shared, cls rf.Classifier, gen *perturb.Generator, frequent []fim.Mined, tau int, rec *obs.Recorder) {
 	nClasses := cls.NumClasses()
 	for _, mnd := range frequent {
+		if ctx.Err() != nil {
+			return
+		}
 		var setStart time.Time
 		if rec != nil {
 			setStart = time.Now() //shahinvet:allow walltime — per-itemset pre-label timing feeds the obs event log

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shahin/internal/obs"
+	"shahin/internal/rf"
+)
+
+// cancelAfter wraps a classifier and fires cancel on the n-th Predict
+// call, so cancellation lands mid-run deterministically regardless of
+// timing. Safe for concurrent workers.
+type cancelAfter struct {
+	inner  rf.Classifier
+	cancel context.CancelFunc
+	after  int64
+	n      atomic.Int64
+}
+
+func (c *cancelAfter) NumClasses() int { return c.inner.NumClasses() }
+
+func (c *cancelAfter) Predict(x []float64) int {
+	if c.n.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.inner.Predict(x)
+}
+
+// reconcilePartial checks the invocation identities of the event log
+// against a partial report. A cancelled run stops emitting
+// tuple_explained events at the cut, so the per-tuple event count is
+// bounded by (not equal to) Report.Tuples — but every classifier
+// invocation that did happen must still be accounted for exactly.
+func reconcilePartial(t *testing.T, s eventSums, rep Report) {
+	t.Helper()
+	if s.explained > rep.Tuples {
+		t.Errorf("%d tuple_explained events for %d tuples", s.explained, rep.Tuples)
+	}
+	if want := rep.Invocations - rep.PoolInvocations; s.explainedFresh != want {
+		t.Errorf("sum of per-tuple fresh samples = %d, want Invocations-PoolInvocations = %d", s.explainedFresh, want)
+	}
+	if s.explainedPooled != rep.ReusedSamples {
+		t.Errorf("sum of per-tuple pooled samples = %d, want ReusedSamples = %d", s.explainedPooled, rep.ReusedSamples)
+	}
+	if s.preLabelFresh != rep.PoolInvocations {
+		t.Errorf("sum of pre_label fresh samples = %d, want PoolInvocations = %d", s.preLabelFresh, rep.PoolInvocations)
+	}
+}
+
+// checkPartial asserts the shape of a cancelled run's partial result:
+// full-length output, a mix of finished and failed tuples, failed slots
+// tallied in the report, and no payload on unattempted slots.
+func checkPartial(t *testing.T, res *Result, n int) {
+	t.Helper()
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if len(res.Explanations) != n {
+		t.Fatalf("partial result has %d slots for %d tuples", len(res.Explanations), n)
+	}
+	finished, failed := 0, 0
+	for _, e := range res.Explanations {
+		if e.Status == StatusFailed {
+			failed++
+		} else if e.Attribution != nil || e.Rule != nil {
+			finished++
+		} else {
+			t.Error("non-failed explanation with no payload")
+		}
+	}
+	if failed == 0 {
+		t.Error("mid-run cancellation marked no tuple failed")
+	}
+	if finished == 0 {
+		t.Error("mid-run cancellation finished no tuple at all (cancelled too early for the test to mean anything)")
+	}
+	if res.Report.Failed != failed {
+		t.Errorf("Report.Failed=%d but %d explanations carry StatusFailed", res.Report.Failed, failed)
+	}
+}
+
+// TestBatchCancelMidRun cancels a serial batch run from inside the
+// classifier and checks the partial result and report.
+func TestBatchCancelMidRun(t *testing.T) {
+	env := newEnv(t, 81, 30)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 82)
+	opts.Recorder = rec
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Fire a few tuples into the explain phase: past the pool build
+	// (≈ pooled itemsets × τ calls) plus a few hundred per-tuple samples.
+	cls := &cancelAfter{inner: env.cls, cancel: cancel, after: 2500}
+	b, err := NewBatch(env.st, cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAllCtx(ctx, env.tuples)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	checkPartial(t, res, len(env.tuples))
+	reconcilePartial(t, sumEvents(t, rec), res.Report)
+}
+
+// TestBatchCancelParallel is the same check across parallel workers,
+// under -race: every worker must stop, unattempted slots must be marked
+// failed, and the merged report must still reconcile with the events.
+func TestBatchCancelParallel(t *testing.T) {
+	env := newEnv(t, 83, 48)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 84)
+	opts.Recorder = rec
+	opts.Workers = 4
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cls := &cancelAfter{inner: env.cls, cancel: cancel, after: 3000}
+	b, err := NewBatch(env.st, cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAllCtx(ctx, env.tuples)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	checkPartial(t, res, len(env.tuples))
+	reconcilePartial(t, sumEvents(t, rec), res.Report)
+}
+
+// TestBatchCancelBeforeStart: a context cancelled on entry yields a
+// full-length all-failed result without invoking the classifier for
+// any tuple explanation.
+func TestBatchCancelBeforeStart(t *testing.T) {
+	env := newEnv(t, 85, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := NewBatch(env.st, env.cls, smallOpts(LIME, 86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAllCtx(ctx, env.tuples)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Explanations) != len(env.tuples) {
+		t.Fatal("want a full-length all-failed result")
+	}
+	for i, e := range res.Explanations {
+		if e.Status != StatusFailed {
+			t.Errorf("tuple %d status=%v, want failed", i, e.Status)
+		}
+	}
+	if res.Report.Failed != len(env.tuples) {
+		t.Errorf("Report.Failed=%d, want %d", res.Report.Failed, len(env.tuples))
+	}
+}
+
+// TestStreamCancelMidStream cancels between stream tuples and checks
+// the stream keeps serving afterwards and its report stays consistent
+// with the event log.
+func TestStreamCancelMidStream(t *testing.T) {
+	env := newEnv(t, 87, 40)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 88)
+	opts.Recorder = rec
+	opts.StreamRecompute = 10
+
+	s, err := NewStream(env.st, env.cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for i, tup := range env.tuples {
+		if i == 25 {
+			// One request arrives with an already-dead context: it is
+			// refused without touching stream state.
+			dead, cancel := context.WithCancel(context.Background())
+			cancel()
+			exp, err := s.ExplainCtx(dead, tup)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("dead-context err=%v", err)
+			}
+			if exp.Status != StatusFailed {
+				t.Fatalf("dead-context status=%v, want failed", exp.Status)
+			}
+			continue
+		}
+		exp, err := s.ExplainCtx(context.Background(), tup)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if exp.Status != StatusOK {
+			t.Errorf("tuple %d status=%v, want ok", i, exp.Status)
+		}
+		served++
+	}
+	rep := s.Report()
+	if rep.Tuples != served {
+		t.Errorf("Report.Tuples=%d, want %d (the refused request must not count)", rep.Tuples, served)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("Report.Failed=%d, want 0 (the refused request never entered the stream)", rep.Failed)
+	}
+	s2 := sumEvents(t, rec)
+	if s2.explained != served {
+		t.Errorf("%d tuple_explained events for %d served tuples", s2.explained, served)
+	}
+	reconcilePartial(t, s2, rep)
+}
+
+// TestStreamCancelMidTuple cancels from inside the classifier while a
+// stream tuple is being explained: the tuple must finish promptly on
+// fallback labels, be marked failed, and later tuples must succeed.
+func TestStreamCancelMidTuple(t *testing.T) {
+	env := newEnv(t, 89, 20)
+	opts := smallOpts(LIME, 90)
+	opts.StreamRecompute = 5
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cls := &cancelAfter{inner: env.cls, cancel: cancel, after: 1200}
+	s, err := NewStream(env.st, cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFailed := false
+	for i, tup := range env.tuples {
+		c := ctx
+		if sawFailed {
+			c = context.Background() // the caller moves on with a fresh context
+		}
+		exp, err := s.ExplainCtx(c, tup)
+		if errors.Is(err, context.Canceled) {
+			continue // refused on entry; try the next tuple fresh
+		}
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if exp.Status == StatusFailed {
+			sawFailed = true
+		}
+	}
+	if !sawFailed {
+		t.Fatal("cancellation never landed mid-tuple; lower cancelAfter.after")
+	}
+	rep := s.Report()
+	if rep.Failed == 0 {
+		t.Error("Report.Failed=0 despite a mid-tuple cancellation")
+	}
+	// The stream survives: one more tuple under a live context is OK.
+	exp, err := s.ExplainCtx(context.Background(), env.tuples[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Status != StatusOK {
+		t.Errorf("post-cancel tuple status=%v, want ok", exp.Status)
+	}
+}
+
+// TestSequentialCancelMidRun covers the baseline's partial result.
+func TestSequentialCancelMidRun(t *testing.T) {
+	env := newEnv(t, 91, 25)
+	opts := smallOpts(LIME, 92)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cls := &cancelAfter{inner: env.cls, cancel: cancel, after: 1500}
+	res, err := SequentialCtx(ctx, env.st, cls, opts, env.tuples)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	checkPartial(t, res, len(env.tuples))
+}
+
+// TestCancelReturnsPromptly: once cancel fires, the run must wrap up in
+// fallback time, not finish the remaining workload. The classifier is
+// slowed so that "kept going" and "stopped" are clearly separated.
+func TestCancelReturnsPromptly(t *testing.T) {
+	env := newEnv(t, 93, 40)
+	opts := smallOpts(LIME, 94)
+	slow := rf.NewDelayed(env.cls, 50*time.Microsecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cls := &cancelAfter{inner: slow, cancel: cancel, after: 3000}
+	b, err := NewBatch(env.st, cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now() //shahinvet:allow walltime — the test bounds post-cancel latency
+	res, err := b.ExplainAllCtx(ctx, env.tuples)
+	took := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	checkPartial(t, res, len(env.tuples))
+	// Full run ≈ 40 tuples × 300 samples × 50µs = 600ms of classifier
+	// time alone; a prompt cancellation at call 3000 should cut well
+	// below half of it even on a slow CI box.
+	if took > 2*time.Second {
+		t.Errorf("cancelled run took %v", took)
+	}
+}

@@ -21,6 +21,7 @@ type engine struct {
 	kind Kind
 	st   *dataset.Stats
 	cls  *rf.Counting
+	fb   *fallibleBridge // nil on the infallible fast path
 
 	lime   *lime.Explainer
 	anchor *anchor.Explainer
@@ -33,7 +34,20 @@ type engine struct {
 // recorder is attached, every Predict through this engine also feeds
 // the recorder's invocation counter and latency histogram.
 func newEngine(opts Options, st *dataset.Stats, cls rf.Classifier, covRows []dataset.Itemset, rng *rand.Rand) *engine {
-	counting := rf.NewCounting(cls)
+	return newEngineBridge(opts, st, cls, covRows, rng, nil)
+}
+
+// newEngineBridge is newEngine with an optional fallible bridge between
+// the counting wrapper and the classifier. The counting wrapper sits
+// *above* the bridge so every logical prediction — including ones the
+// degradation ladder answers — counts toward the invocation ledger,
+// keeping the event-reconciliation identity intact under faults.
+func newEngineBridge(opts Options, st *dataset.Stats, cls rf.Classifier, covRows []dataset.Itemset, rng *rand.Rand, fb *fallibleBridge) *engine {
+	base := cls
+	if fb != nil {
+		base = fb
+	}
+	counting := rf.NewCounting(base)
 	if rec := opts.Recorder; rec != nil {
 		invocations := rec.Counter(obs.CounterInvocations)
 		latency := rec.Histogram(obs.HistPredict)
@@ -42,7 +56,7 @@ func newEngine(opts Options, st *dataset.Stats, cls rf.Classifier, covRows []dat
 			latency.Observe(d)
 		})
 	}
-	e := &engine{kind: opts.Explainer, st: st, cls: counting}
+	e := &engine{kind: opts.Explainer, st: st, cls: counting, fb: fb}
 	switch opts.Explainer {
 	case LIME:
 		e.lime = lime.New(st, counting, opts.LIME, rng)
@@ -91,3 +105,19 @@ func (e *engine) explain(t []float64, pool explain.Pool, sh *anchor.Shared) (Exp
 
 // invocations reports the classifier calls made through this engine.
 func (e *engine) invocations() int64 { return e.cls.Invocations() }
+
+// beginTuple resets the bridge's per-tuple outcome flags (no-op on the
+// infallible fast path).
+func (e *engine) beginTuple() {
+	if e.fb != nil {
+		e.fb.beginTuple()
+	}
+}
+
+// tupleStatus reports how the current tuple's predictions were answered.
+func (e *engine) tupleStatus() Status {
+	if e.fb == nil {
+		return StatusOK
+	}
+	return e.fb.status()
+}

@@ -16,6 +16,7 @@ import (
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
 	"shahin/internal/explain/sshap"
+	"shahin/internal/fault"
 	"shahin/internal/obs"
 )
 
@@ -136,6 +137,15 @@ type Options struct {
 	// checks. The same recorder may be shared across runs (counters
 	// accumulate) and served over HTTP with obs.Serve.
 	Recorder *obs.Recorder
+
+	// Fault configures the failure model of the classifier backend:
+	// deterministic fault injection for chaos runs, per-call deadlines,
+	// retry with capped exponential backoff, and a circuit breaker.
+	// nil — the default — assumes an infallible in-process classifier
+	// and keeps the fault machinery entirely off the hot path (the run
+	// then takes the exact pre-fault code path and produces
+	// byte-identical explanations).
+	Fault *fault.Config
 
 	// StreamRecompute is the streaming variant's re-mining period in
 	// tuples (default 100, the paper's threshold).

@@ -11,10 +11,13 @@ import (
 )
 
 // Explanation is the per-tuple output: an attribution for LIME/SHAP or a
-// rule for Anchor (exactly one field is set).
+// rule for Anchor (exactly one field is set). Status reports whether the
+// explanation was answered cleanly; its zero value (StatusOK) marshals
+// away so infallible runs serialise exactly as before the failure model.
 type Explanation struct {
 	Attribution *explain.Attribution
 	Rule        *explain.Rule
+	Status      Status `json:",omitempty"`
 }
 
 // Report captures the cost accounting of one run: wall time, classifier
@@ -53,6 +56,14 @@ type Report struct {
 	FrequentItemsets int
 	// Cache summarises the perturbation repository at the end of the run.
 	Cache cache.Stats
+
+	// Retries counts classifier re-attempts after transient failures.
+	Retries int64
+	// Degraded counts tuples answered at least partly by the degradation
+	// ladder (label cache, pooled labels, majority class); Failed counts
+	// tuples cancelled, never attempted, or unanswerable by any fallback.
+	Degraded int
+	Failed   int
 }
 
 // OverheadFraction returns OverheadTime / WallTime (the paper's Figure 5
@@ -116,6 +127,9 @@ type reportJSON struct {
 	FrequentItemsets int         `json:"frequent_itemsets"`
 	Cache            cache.Stats `json:"cache"`
 	CacheHitRate     float64     `json:"cache_hit_rate"`
+	Retries          int64       `json:"retries,omitempty"`
+	Degraded         int         `json:"degraded_tuples,omitempty"`
+	Failed           int         `json:"failed_tuples,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with the flat reportJSON shape.
@@ -148,6 +162,9 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		FrequentItemsets: r.FrequentItemsets,
 		Cache:            r.Cache,
 		CacheHitRate:     r.Cache.HitRate(),
+		Retries:          r.Retries,
+		Degraded:         r.Degraded,
+		Failed:           r.Failed,
 	})
 }
 
@@ -172,6 +189,9 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		ReusedSamples:    j.ReusedSamples,
 		FrequentItemsets: j.FrequentItemsets,
 		Cache:            j.Cache,
+		Retries:          j.Retries,
+		Degraded:         j.Degraded,
+		Failed:           j.Failed,
 	}
 	return nil
 }
@@ -199,6 +219,10 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, ", %.1f%% hit rate, %d evictions",
 				100*r.Cache.HitRate(), r.Cache.Evictions)
 		}
+	}
+	if r.Retries > 0 || r.Degraded > 0 || r.Failed > 0 {
+		fmt.Fprintf(&b, "\nrobustness: %d retries · %d degraded tuples · %d failed tuples",
+			r.Retries, r.Degraded, r.Failed)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"shahin/internal/dataset"
 	"shahin/internal/explain"
 	"shahin/internal/explain/anchor"
+	"shahin/internal/fault"
 	"shahin/internal/fim"
 	"shahin/internal/obs"
 	"shahin/internal/perturb"
@@ -32,6 +34,16 @@ type Stream struct {
 	repo *cache.Repo
 	pool *itemsetPool
 	sh   *anchor.Shared // Anchor-only persistent shared state
+
+	// chain and fb are the failure model: the stream always routes
+	// predictions through a fault chain (a pass-through one when
+	// Options.Fault is nil, preserving byte-identical labels) so any
+	// tuple can be explained under a cancellable context.
+	chain    *fault.Chain
+	fb       *fallibleBridge
+	poolSets []dataset.Itemset // materialised itemsets, for the fallback ladder
+	degraded int
+	failed   int
 
 	window    []dataset.Itemset // itemised tuples since the last re-mine
 	tracked   []*trackedSet     // frequent itemsets + negative border
@@ -81,11 +93,21 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 		doneCtr:   rec.Counter(obs.CounterTuplesDone),
 	}
 	s.repo.SetHooks(cacheHooks(rec))
+	// The stream is fallible from birth: a zero fault.Config builds a
+	// pass-through chain (context honoured, nothing injected) whose
+	// labels are byte-identical to calling the classifier directly, so
+	// ExplainCtx works whether or not faults are configured.
+	var fcfg fault.Config
+	if opts.Fault != nil {
+		fcfg = *opts.Fault
+	}
+	s.chain = fault.Build(cls, fcfg, rec)
+	s.fb = newFallibleBridge(context.Background(), s.chain, st, rec)
 	// Anchor's coverage sample grows with the stream: the engine holds a
 	// reference to the slice header, so rebuild the engine lazily instead.
 	// Simpler: give Anchor the window slice at first mine; coverage of a
 	// rule is memoised on first use, so early tuples use window coverage.
-	s.eng = newEngine(opts, st, cls, nil, rng)
+	s.eng = newEngineBridge(opts, st, cls, nil, rng, s.fb)
 	s.gen = perturb.NewGenerator(st, rng)
 	// Same resource rule as the batch variant: never spend more than
 	// ~20 % of a window's sequential classifier budget on materialising
@@ -108,6 +130,21 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 
 // Explain processes one arriving tuple and returns its explanation.
 func (s *Stream) Explain(t []float64) (Explanation, error) {
+	return s.ExplainCtx(context.Background(), t)
+}
+
+// ExplainCtx is Explain under a context. A context already cancelled on
+// entry returns a StatusFailed explanation and ctx.Err() without
+// touching the stream's state; cancellation mid-tuple finishes the
+// tuple quickly on fallback labels (marked StatusFailed) so the stream
+// and its Report stay consistent. Explain calls must not overlap —
+// the stream is a serial consumer by contract.
+func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, error) {
+	if err := ctx.Err(); err != nil {
+		return Explanation{Status: StatusFailed}, err
+	}
+	s.fb.ctx = ctx
+	defer func() { s.fb.ctx = context.Background() }()
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	defer func() { s.wall += time.Since(start) }()
 
@@ -138,6 +175,7 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 			}
 			s.materialize(ts.set, -1)
 			ts.frequent = true
+			s.poolSets = appendItemset(s.poolSets, ts.set)
 			if s.pool != nil {
 				s.pool.itemsets = appendItemset(s.pool.itemsets, ts.set)
 				s.pool.longestView = appendLongest(s.pool.longestView, ts.set)
@@ -155,6 +193,13 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 		s.pool.beginTuple()
 		pl = s.pool
 	}
+	// Point the degradation ladder at whatever is materialised right now.
+	if s.sh != nil {
+		s.fb.setPool(s.sh.Repo, s.poolSets)
+	} else {
+		s.fb.setPool(s.repo, s.poolSets)
+	}
+	s.eng.beginTuple()
 	rec := s.opts.Recorder
 	var (
 		inv0       int64
@@ -173,6 +218,13 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 	if err != nil {
 		return Explanation{}, err
 	}
+	exp.Status = s.eng.tupleStatus()
+	switch exp.Status {
+	case StatusDegraded:
+		s.degraded++
+	case StatusFailed:
+		s.failed++
+	}
 	s.tupleHist.Observe(dur)
 	s.doneCtr.Inc()
 	if rec != nil {
@@ -186,6 +238,9 @@ func (s *Stream) Explain(t []float64) (Explanation, error) {
 			ev.Pooled, ev.CacheHits, ev.Itemset = s.pool.provenance()
 		} else if s.sh != nil {
 			ev.CacheHits = s.sh.Repo.Stats().Hits - anchorHits
+		}
+		if exp.Status != StatusOK {
+			ev.Status = exp.Status.String()
 		}
 		rec.Emit(ev)
 	}
@@ -285,6 +340,7 @@ func (s *Stream) remine() {
 			s.tracked = append(s.tracked, &trackedSet{set: m.Set})
 		}
 	}
+	s.poolSets = sets
 	if s.pool != nil {
 		s.pool.itemsets = sets
 		longest := append([]dataset.Itemset(nil), sets...)
@@ -368,6 +424,9 @@ func (s *Stream) Report() Report {
 		rep.Cache = s.sh.Repo.Stats()
 		rep.FrequentItemsets = s.sh.Repo.Len()
 	}
+	rep.Retries = s.chain.Stats().Retries
+	rep.Degraded = s.degraded
+	rep.Failed = s.failed
 	return rep
 }
 

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"shahin/internal/obs"
+)
+
+// BreakerState is the circuit breaker's three-state machine.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes calls through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects calls without touching the backend until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets probe calls through: one success closes the
+	// breaker, one failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a three-state circuit breaker: BreakerThreshold
+// consecutive failures open it; while open every call is rejected with
+// ErrBreakerOpen (the caller degrades instead of waiting on a dead
+// backend); after the cooldown — wall-clock, call-counted, or both —
+// it half-opens and probes, closing again on the first success.
+//
+// The call-counted cooldown (BreakerCooldownCalls) exists for
+// determinism: a breaker timed purely by the wall clock would make
+// chaos runs irreproducible. Every transition emits an obs event and
+// bumps the breaker counters.
+type Breaker struct {
+	inner         FallibleClassifier
+	threshold     int
+	cooldown      time.Duration
+	cooldownCalls int64
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed/half-open
+	rejected int64     // rejections since the breaker last opened
+	reopenAt time.Time // wall-clock probe time while open
+
+	opens         atomicInt64
+	rejectedTotal atomicInt64
+
+	rec         *obs.Recorder
+	opensCtr    *obs.Counter
+	rejectedCtr *obs.Counter
+}
+
+// NewBreaker wraps inner with a circuit breaker per cfg.
+func NewBreaker(inner FallibleClassifier, cfg Config, rec *obs.Recorder) *Breaker {
+	ctrs := newChainCounters(rec)
+	b := &Breaker{
+		inner:         inner,
+		threshold:     cfg.BreakerThreshold,
+		cooldown:      cfg.BreakerCooldown,
+		cooldownCalls: cfg.BreakerCooldownCalls,
+		rec:           rec,
+		opensCtr:      ctrs.opens,
+		rejectedCtr:   ctrs.rejected,
+	}
+	if b.threshold <= 0 {
+		b.threshold = 5
+	}
+	if b.cooldown <= 0 && b.cooldownCalls <= 0 {
+		b.cooldownCalls = 100 // an open breaker must always recover
+	}
+	return b
+}
+
+// NumClasses implements FallibleClassifier.
+func (b *Breaker) NumClasses() int { return b.inner.NumClasses() }
+
+// State returns the current breaker state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// PredictCtx implements FallibleClassifier: fail fast while open,
+// otherwise pass through and track the outcome.
+func (b *Breaker) PredictCtx(ctx context.Context, x []float64) (int, error) {
+	b.mu.Lock()
+	if b.state == BreakerOpen {
+		ready := b.cooldownCalls > 0 && b.rejected >= b.cooldownCalls
+		if !ready && b.cooldown > 0 {
+			ready = !time.Now().Before(b.reopenAt) //shahinvet:allow walltime — breaker cooldown clock (timing-only, never affects labels)
+		}
+		if !ready {
+			b.rejected++
+			b.mu.Unlock()
+			b.rejectedTotal.Add(1)
+			b.rejectedCtr.Inc()
+			return 0, ErrBreakerOpen
+		}
+		b.transition(BreakerHalfOpen)
+	}
+	b.mu.Unlock()
+
+	y, err := b.inner.PredictCtx(ctx, x)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil {
+		if canceled(err) {
+			return 0, err // the caller gave up; not the backend's fault
+		}
+		b.fails++
+		if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.threshold) {
+			b.open()
+		}
+		return 0, err
+	}
+	b.fails = 0
+	if b.state == BreakerHalfOpen {
+		b.transition(BreakerClosed)
+	}
+	return y, nil
+}
+
+// open moves to BreakerOpen, arming both cooldown clocks. Caller holds mu.
+func (b *Breaker) open() {
+	b.rejected = 0
+	if b.cooldown > 0 {
+		b.reopenAt = time.Now().Add(b.cooldown) //shahinvet:allow walltime — breaker cooldown clock (timing-only, never affects labels)
+	}
+	b.opens.Add(1)
+	b.opensCtr.Inc()
+	b.transition(BreakerOpen)
+}
+
+// transition records a state change and emits the breaker_state event.
+// Caller holds mu; the recorder has its own lock, so emitting under mu
+// is deadlock-free.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	b.rec.Emit(obs.Event{
+		Type:  obs.EventBreakerState,
+		Tuple: -1,
+		State: from.String() + "->" + to.String(),
+	})
+}

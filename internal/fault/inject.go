@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"shahin/internal/obs"
+)
+
+// Injector is the deterministic chaos layer: it fails, stalls, or
+// blacks out calls to the inner classifier according to Config,
+// drawing every decision from a seeded RNG keyed by call order. Two
+// runs with the same seed and the same (serial) call sequence inject
+// exactly the same faults.
+//
+// Under concurrent callers the RNG draw order follows scheduling, so
+// *which* call gets a fault is no longer reproducible — but every
+// fault is transient, so retried calls still return the same label and
+// serial runs stay byte-identical.
+type Injector struct {
+	inner FallibleClassifier
+	cfg   Config
+
+	mu  sync.Mutex
+	rng *deterministicRNG
+
+	calls    atomicInt64
+	injected atomicInt64
+	outages  atomicInt64
+
+	injectedCtr *obs.Counter
+	outagesCtr  *obs.Counter
+}
+
+// deterministicRNG is a splitmix64 stream: unlike math/rand it costs
+// nothing to construct and its state is one word, which keeps the
+// injector's critical section tiny.
+type deterministicRNG struct{ state uint64 }
+
+func (r *deterministicRNG) float64() float64 {
+	r.state = splitmix64(r.state)
+	return float64(r.state>>11) / float64(1<<53)
+}
+
+// NewInjector wraps inner with fault injection per cfg.
+func NewInjector(inner FallibleClassifier, cfg Config, rec *obs.Recorder) *Injector {
+	ctrs := newChainCounters(rec)
+	return &Injector{
+		inner:       inner,
+		cfg:         cfg,
+		rng:         &deterministicRNG{state: splitmix64(uint64(cfg.Seed) ^ 0x53686168696e21)},
+		injectedCtr: ctrs.injected,
+		outagesCtr:  ctrs.outages,
+	}
+}
+
+// PredictCtx implements FallibleClassifier, possibly injecting a
+// fault. The RNG is always advanced the same number of times per call
+// (one draw per configured fault kind) so the decision stream stays
+// aligned whether or not earlier faults fired.
+func (i *Injector) PredictCtx(ctx context.Context, x []float64) (int, error) {
+	i.mu.Lock()
+	call := i.calls.Add(1) - 1
+	fail := i.cfg.FailRate > 0 && i.rng.float64() < i.cfg.FailRate
+	spike := i.cfg.SpikeRate > 0 && i.rng.float64() < i.cfg.SpikeRate
+	i.mu.Unlock()
+
+	if i.cfg.OutageCalls > 0 && call >= i.cfg.OutageStart && call < i.cfg.OutageStart+i.cfg.OutageCalls {
+		i.outages.Add(1)
+		i.outagesCtr.Inc()
+		return 0, ErrOutage
+	}
+	if fail {
+		i.injected.Add(1)
+		i.injectedCtr.Inc()
+		return 0, ErrInjected
+	}
+	if spike && i.cfg.SpikeDelay > 0 {
+		t := time.NewTimer(i.cfg.SpikeDelay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return 0, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return i.inner.PredictCtx(ctx, x)
+}
+
+// NumClasses implements FallibleClassifier.
+func (i *Injector) NumClasses() int { return i.inner.NumClasses() }
+
+// Calls reports how many predictions have passed through the injector.
+func (i *Injector) Calls() int64 { return i.calls.Load() }

@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"context"
+	"time"
+
+	"shahin/internal/obs"
+)
+
+// retrier re-attempts transient failures with capped exponential
+// backoff and deterministic jitter. Jitter is a pure hash of
+// (seed, call, attempt) — not an RNG draw — so concurrent callers
+// cannot perturb each other's delays and the backoff schedule of any
+// given call is reproducible.
+type retrier struct {
+	inner   FallibleClassifier
+	max     int
+	base    time.Duration
+	cap     time.Duration
+	jitter  float64
+	seed    int64
+	calls   atomicInt64
+	retries atomicInt64
+
+	retriesCtr *obs.Counter
+}
+
+func newRetrier(inner FallibleClassifier, cfg Config, rec *obs.Recorder) *retrier {
+	r := &retrier{
+		inner:      inner,
+		max:        cfg.MaxRetries,
+		base:       cfg.RetryBase,
+		cap:        cfg.RetryMax,
+		jitter:     cfg.RetryJitter,
+		seed:       cfg.Seed,
+		retriesCtr: newChainCounters(rec).retries,
+	}
+	if r.base <= 0 {
+		r.base = time.Millisecond
+	}
+	if r.cap <= 0 {
+		r.cap = 50 * time.Millisecond
+	}
+	if r.jitter <= 0 {
+		r.jitter = 0.2
+	}
+	return r
+}
+
+// NumClasses implements FallibleClassifier.
+func (r *retrier) NumClasses() int { return r.inner.NumClasses() }
+
+// PredictCtx implements FallibleClassifier with up to max retries of
+// transient failures. Backoff sleeps respect the caller's context.
+func (r *retrier) PredictCtx(ctx context.Context, x []float64) (int, error) {
+	call := r.calls.Add(1) - 1
+	for attempt := 0; ; attempt++ {
+		y, err := r.inner.PredictCtx(ctx, x)
+		if err == nil {
+			return y, nil
+		}
+		if attempt >= r.max || !Retryable(err) {
+			return 0, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
+		r.retries.Add(1)
+		r.retriesCtr.Inc()
+		if d := r.backoff(call, attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return 0, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// backoff returns the delay before retry number attempt+1: capped
+// exponential growth from base, jittered by ±jitter of the delay.
+func (r *retrier) backoff(call int64, attempt int) time.Duration {
+	d := r.base << uint(attempt)
+	if d > r.cap || d <= 0 { // <= 0 guards shift overflow
+		d = r.cap
+	}
+	frac := 1 + r.jitter*(2*hash01(r.seed, call, attempt)-1)
+	return time.Duration(float64(d) * frac)
+}

@@ -26,8 +26,12 @@ const (
 	EventCacheEvict EventType = "cache_evict"
 	// EventTupleExplained is the per-explanation provenance record:
 	// Tuple index, Explainer, the first matched frequent Itemset,
-	// Pooled vs Fresh sample counts, CacheHits, and DurMS.
+	// Pooled vs Fresh sample counts, CacheHits, DurMS, and — when the
+	// tuple was not answered cleanly — its degradation Status.
 	EventTupleExplained EventType = "tuple_explained"
+	// EventBreakerState records one circuit-breaker transition; State
+	// carries the edge ("closed->open", "open->half-open", ...).
+	EventBreakerState EventType = "breaker_state"
 )
 
 // Event is one entry of the run's structured event log. Fields are a
@@ -50,6 +54,11 @@ type Event struct {
 	Fresh     int64   `json:"fresh_samples,omitempty"`
 	CacheHits int64   `json:"cache_hits,omitempty"`
 	DurMS     float64 `json:"dur_ms,omitempty"`
+	// State is a breaker_state transition edge ("closed->open").
+	State string `json:"state,omitempty"`
+	// Status marks a tuple_explained event whose tuple was answered
+	// degraded (pooled/cached labels) or failed; empty means ok.
+	Status string `json:"status,omitempty"`
 }
 
 // DefaultEventCapacity bounds the event log unless SetEventCapacity

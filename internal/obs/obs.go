@@ -62,6 +62,21 @@ const (
 	// calls; HistExplainTuple the per-tuple explanation times.
 	HistPredict      = "predict_ns"
 	HistExplainTuple = "explain_tuple_ns"
+
+	// Fault-tolerance counters, maintained by internal/fault and the
+	// core degradation ladder. CounterFaultsInjected / CounterFaultOutages
+	// count injected chaos faults; CounterRetries counts backend
+	// re-attempts; CounterBreakerOpens / CounterBreakerRejected track the
+	// circuit breaker; CounterDegradedAnswers counts predictions served
+	// from pooled labels or the label cache while the backend was
+	// unavailable, and CounterFailedAnswers those with no fallback at all.
+	CounterFaultsInjected  = "fault_injected_errors"
+	CounterFaultOutages    = "fault_outage_errors"
+	CounterRetries         = "fault_retries"
+	CounterBreakerOpens    = "fault_breaker_opens"
+	CounterBreakerRejected = "fault_breaker_rejected"
+	CounterDegradedAnswers = "fault_degraded_answers"
+	CounterFailedAnswers   = "fault_failed_answers"
 )
 
 // Recorder collects spans, counters, gauges, and histograms from a run

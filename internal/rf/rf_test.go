@@ -3,6 +3,8 @@ package rf
 import (
 	"bytes"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -299,5 +301,71 @@ func BenchmarkForestTrain(b *testing.B) {
 		if _, err := Train(d, Config{NumTrees: 20, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDelayedHybridSleep covers the long-delay path of spin: delays
+// above one millisecond sleep the bulk and busy-wait only the margin,
+// yet must still take at least the requested duration.
+func TestDelayedHybridSleep(t *testing.T) {
+	base := Func{Classes: 2, F: func([]float64) int { return 1 }}
+	d := NewDelayed(base, 3*time.Millisecond)
+	start := time.Now()
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if d.Predict(nil) != 1 {
+			t.Fatal("Delayed changed the prediction")
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < calls*3*time.Millisecond {
+		t.Fatalf("%d calls at 3ms took only %v (delay undershoots)", calls, elapsed)
+	}
+	// Generous upper bound: sleep overshoot is bounded, so the hybrid
+	// must not balloon the delay either (the old pure busy-wait would
+	// pass this too, but a broken sleep-too-long path would not).
+	if elapsed > calls*30*time.Millisecond {
+		t.Fatalf("%d calls at 3ms took %v", calls, elapsed)
+	}
+}
+
+// TestCountingHookConcurrentSwap installs and clears the predict hook
+// while other goroutines are mid-Predict; under -race this pins down
+// the atomic hook swap the observability layer relies on.
+func TestCountingHookConcurrentSwap(t *testing.T) {
+	base := Func{Classes: 2, F: func([]float64) int { return 1 }}
+	c := NewCounting(base)
+	var observed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			c.SetPredictHook(func(time.Duration) { observed.Add(1) })
+			c.SetPredictHook(nil)
+		}
+		c.SetPredictHook(func(time.Duration) { observed.Add(1) })
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if c.Predict(nil) != 1 {
+					t.Error("hook swap changed the prediction")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if c.Invocations() != 2000 {
+		t.Fatalf("Invocations=%d want 2000", c.Invocations())
+	}
+	// With the final hook installed, one more call must observe it.
+	before := observed.Load()
+	c.Predict(nil)
+	if observed.Load() != before+1 {
+		t.Fatal("installed hook did not observe the call")
 	}
 }

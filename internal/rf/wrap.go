@@ -11,7 +11,7 @@ import (
 type Counting struct {
 	inner Classifier
 	n     atomic.Int64
-	hook  func(time.Duration)
+	hook  atomic.Pointer[func(time.Duration)]
 }
 
 // NewCounting wraps c.
@@ -20,9 +20,16 @@ func NewCounting(c Classifier) *Counting { return &Counting{inner: c} }
 // SetPredictHook installs fn to receive the latency of every Predict
 // call (the observability recorder feeds its invocation counter and
 // latency histogram this way). A nil hook — the default — skips the
-// timing entirely. Install before the classifier is shared across
+// timing entirely. The hook is held in an atomic pointer, so it may be
+// installed or swapped even after the classifier is shared across
 // goroutines; the hook itself must be goroutine-safe.
-func (c *Counting) SetPredictHook(fn func(time.Duration)) { c.hook = fn }
+func (c *Counting) SetPredictHook(fn func(time.Duration)) {
+	if fn == nil {
+		c.hook.Store(nil)
+		return
+	}
+	c.hook.Store(&fn)
+}
 
 // NumClasses implements Classifier.
 func (c *Counting) NumClasses() int { return c.inner.NumClasses() }
@@ -30,7 +37,8 @@ func (c *Counting) NumClasses() int { return c.inner.NumClasses() }
 // Predict implements Classifier, incrementing the invocation counter.
 func (c *Counting) Predict(x []float64) int {
 	c.n.Add(1)
-	if hook := c.hook; hook != nil {
+	if p := c.hook.Load(); p != nil {
+		hook := *p
 		start := time.Now() //shahinvet:allow walltime — predict-latency hook measurement
 		y := c.inner.Predict(x)
 		hook(time.Since(start))
@@ -75,9 +83,21 @@ func (d *Delayed) Predict(x []float64) int {
 	return y
 }
 
-// spin busy-waits for roughly dur.
+// spinSleepMargin is how much of a long delay is left to the busy-wait
+// tail after the bulk sleep: generous enough to absorb typical timer
+// overshoot, small enough that the spin burns microseconds, not a core.
+const spinSleepMargin = 500 * time.Microsecond
+
+// spin waits for roughly dur. Below one millisecond it busy-waits so
+// sub-millisecond calibration stays accurate and deterministic under
+// load; above it, it sleeps the bulk of the delay and busy-waits only
+// the final margin, so large calibrated delays (simulating a remote
+// model server) do not burn a full core per in-flight call.
 func spin(dur time.Duration) {
-	deadline := time.Now().Add(dur)   //shahinvet:allow walltime — busy-wait deadline for the calibrated delay
+	deadline := time.Now().Add(dur) //shahinvet:allow walltime — busy-wait deadline for the calibrated delay
+	if dur > time.Millisecond {
+		time.Sleep(dur - spinSleepMargin)
+	}
 	for time.Now().Before(deadline) { //shahinvet:allow walltime — busy-wait deadline for the calibrated delay
 	}
 }

@@ -33,6 +33,7 @@
 package shahin
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -44,6 +45,7 @@ import (
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
 	"shahin/internal/explain/sshap"
+	"shahin/internal/fault"
 	"shahin/internal/gbt"
 	"shahin/internal/nb"
 	"shahin/internal/obs"
@@ -170,6 +172,34 @@ func ServeMetrics(addr string, rec *Recorder) (*MetricsServer, error) {
 	return obs.Serve(addr, rec)
 }
 
+// Robustness: set Options.Fault to run against a fallible classifier
+// backend (injected faults, per-call deadlines, retry/backoff, circuit
+// breaking), and use the Ctx entry points for cancellable runs that
+// return partial results.
+type (
+	// FaultConfig configures the fault-tolerance chain around the
+	// classifier: injection rates, per-call deadline, retry/backoff, and
+	// circuit-breaker knobs. The zero value disables everything.
+	FaultConfig = fault.Config
+	// FallibleClassifier is a classifier whose predictions may fail;
+	// wrap your own with NewFallibleAdapter-style code or pass a
+	// FaultConfig and let the chain adapt the infallible interface.
+	FallibleClassifier = fault.FallibleClassifier
+	// Status reports how an explanation was produced: ok, degraded
+	// (classifier failures papered over by fallback labels), or failed.
+	Status = core.Status
+)
+
+// Explanation status values.
+const (
+	// StatusOK: every classifier call behind the explanation succeeded.
+	StatusOK = core.StatusOK
+	// StatusDegraded: some calls failed and fallback labels were used.
+	StatusDegraded = core.StatusDegraded
+	// StatusFailed: the tuple was not explained (cancelled or exhausted).
+	StatusFailed = core.StatusFailed
+)
+
 // Kind selects the explanation algorithm.
 type Kind = core.Kind
 
@@ -224,10 +254,24 @@ func Sequential(st *Stats, cls Classifier, opts Options, tuples [][]float64) (*R
 	return core.Sequential(st, cls, opts, tuples)
 }
 
+// SequentialCtx is Sequential under a context: cancellation stops the
+// loop between tuples and returns the finished explanations as a
+// partial Result alongside ctx.Err(); unattempted tuples carry
+// StatusFailed.
+func SequentialCtx(ctx context.Context, st *Stats, cls Classifier, opts Options, tuples [][]float64) (*Result, error) {
+	return core.SequentialCtx(ctx, st, cls, opts, tuples)
+}
+
 // Dist simulates the paper's DIST-k baseline: the batch split evenly
 // across k sequential workers, reporting the average worker time.
 func Dist(st *Stats, cls Classifier, opts Options, tuples [][]float64, k int) (*Result, error) {
 	return core.Dist(st, cls, opts, tuples, k)
+}
+
+// DistCtx is Dist under a context: cancellation stops the simulation
+// between machines, returning a partial Result alongside ctx.Err().
+func DistCtx(ctx context.Context, st *Stats, cls Classifier, opts Options, tuples [][]float64, k int) (*Result, error) {
+	return core.DistCtx(ctx, st, cls, opts, tuples, k)
 }
 
 // Greedy runs the paper's GREEDY baseline: persist every perturbation
