@@ -48,6 +48,7 @@ var experiments = map[string]struct {
 	"ext-parallel": {"Extension: worker parallelism", bench.ExtParallel},
 	"smoke":        {"CI smoke: seq/batch/stream cost ledger at tiny scale", bench.Smoke},
 	"chaos":        {"Robustness: batch/stream under fault injection, retry, and circuit breaking", bench.Chaos},
+	"serving":      {"Serving: mixed request workload against a live shahin-serve pipeline", bench.Serving},
 }
 
 // order fixes the default execution order. The smoke experiment is a CI

@@ -1,0 +1,44 @@
+// Command shahin-docdrift runs the doc-drift gate from the command
+// line: it inventories every binary under cmd/ and every flag the
+// module registers, then verifies each is documented in OPERATIONS.md
+// (flags must appear backticked, `-like-this`). It prints one line per
+// missing item and exits 1 on drift, so CI can call it directly:
+//
+//	go run ./cmd/shahin-docdrift
+//	go run ./cmd/shahin-docdrift -dir /path/to/module -ops OPERATIONS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shahin/internal/docs"
+)
+
+func main() {
+	var (
+		dir = flag.String("dir", ".", "module root to scan")
+		ops = flag.String("ops", "OPERATIONS.md", "operator guide path, relative to -dir unless absolute")
+	)
+	flag.Parse()
+
+	opsPath := *ops
+	if !filepath.IsAbs(opsPath) {
+		opsPath = filepath.Join(*dir, opsPath)
+	}
+	missing, err := docs.Check(*dir, opsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shahin-docdrift:", err)
+		os.Exit(2)
+	}
+	for _, m := range missing {
+		fmt.Println(m)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "shahin-docdrift: %d undocumented item(s); update OPERATIONS.md\n", len(missing))
+		os.Exit(1)
+	}
+	fmt.Println("shahin-docdrift: OPERATIONS.md covers every binary and flag")
+}

@@ -14,6 +14,7 @@
 //
 // Ctrl-C cancels the run: the explanations finished so far are printed
 // with a partial cost report, and unattempted tuples are marked failed.
+// A second Ctrl-C forces an immediate exit without the partial print.
 // The -fail-rate/-predict-timeout family runs the same pipeline against
 // a deliberately unreliable classifier backend (see README, Robustness).
 package main
@@ -25,11 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
 	"time"
 
 	"shahin"
+	"shahin/internal/cli"
 	"shahin/internal/datagen"
 )
 
@@ -59,8 +60,9 @@ func main() {
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight work; the finished explanations are still
-	// printed below with a partial report.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// printed below with a partial report. A second Ctrl-C skips the
+	// partial print and exits immediately.
+	ctx, stop := cli.Shutdown(context.Background())
 	defer stop()
 
 	var rec *shahin.Recorder
@@ -156,11 +158,12 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q (want batch, stream, or seq)", *mode))
 	}
 
+	attempted := cli.FailUnattempted(explanations)
 	for i, e := range explanations {
 		fmt.Printf("tuple %3d: %s%s\n", i, render(e, test.Schema, *topK), statusMark(e.Status))
 	}
 	if canceled {
-		fmt.Printf("\ninterrupted: %d of %d tuples explained before cancellation\n", attempted(explanations), len(tuples))
+		fmt.Printf("\ninterrupted: %d of %d tuples explained before cancellation\n", attempted, len(tuples))
 	}
 	fmt.Printf("\n%s\n", report.String())
 	if *traceOut != "" {
@@ -224,17 +227,6 @@ func statusMark(s shahin.Status) string {
 		return "  [failed]"
 	}
 	return ""
-}
-
-// attempted counts explanations that actually ran (OK or degraded).
-func attempted(exps []shahin.Explanation) int {
-	n := 0
-	for _, e := range exps {
-		if e.Status != shahin.StatusFailed {
-			n++
-		}
-	}
-	return n
 }
 
 // loadData reads the CSV when given, else generates synthetic tuples.

@@ -1,0 +1,201 @@
+// Command shahin-serve runs the online explanation service: it trains a
+// model (or loads a CSV), builds a warm explainer whose frequent-itemset
+// pool persists across requests, and serves explanations over HTTP
+// through a micro-batching admission queue.
+//
+//	POST /v1/explain        {"tuple": [..]}        one explanation
+//	POST /v1/explain/batch  {"tuples": [[..],..]}  many explanations
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (503 while draining)
+//
+// Concurrent requests are gathered for up to -batch-window (or until
+// -batch-max tuples queue) and flushed through the pipeline together,
+// so unrelated requests share one pool of pre-labelled perturbations.
+// Exact-repeat tuples are answered from an explanation store, which
+// -store persists across restarts (loaded at startup, snapshotted on
+// graceful shutdown).
+//
+// SIGINT/SIGTERM drains gracefully: queued requests are flushed and
+// answered, then the store is snapshotted. A second signal forces an
+// immediate exit. See OPERATIONS.md for the full operator guide.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"shahin"
+	"shahin/internal/cli"
+	"shahin/internal/datagen"
+	"shahin/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address (\":0\" picks a port)")
+		name      = flag.String("dataset", "census", "dataset family (schema source): "+strings.Join(shahin.DatasetNames(), ", "))
+		dataPath  = flag.String("data", "", "CSV file to load (default: generate -rows synthetic tuples)")
+		rows      = flag.Int("rows", 5000, "synthetic rows when -data is not given")
+		explainer = flag.String("explainer", "lime", "lime, anchor, or shap")
+		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
+		trees     = flag.Int("trees", 50, "random forest size")
+		workers   = flag.Int("workers", 0, "parallel workers sharding each flush (0 = GOMAXPROCS, non-Anchor)")
+
+		batchWindow = flag.Duration("batch-window", 10*time.Millisecond, "how long the first queued request waits for companions before its batch flushes")
+		batchMax    = flag.Int("batch-max", 64, "flush a batch immediately at this many queued tuples")
+		queueCap    = flag.Int("queue-cap", 1024, "admission queue bound; requests beyond it get 503")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, queue wait included (0 disables)")
+		staleAfter  = flag.Int("stale-after", 0, "re-mine the itemset pool after this many explained tuples (0 = default 2048)")
+		storePath   = flag.String("store", "", "explanation-store snapshot: loaded at startup, written on graceful shutdown")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight flushes")
+
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address (\":0\" picks a port)")
+		eventsOut = flag.String("events-out", "", "write the structured event log as JSONL on shutdown")
+
+		failRate       = flag.Float64("fail-rate", 0, "fault injection: probability a classifier call fails transiently")
+		spikeRate      = flag.Float64("spike-rate", 0, "fault injection: probability a classifier call stalls for -spike-delay")
+		spikeDelay     = flag.Duration("spike-delay", 20*time.Millisecond, "fault injection: stall duration for latency spikes")
+		predictTimeout = flag.Duration("predict-timeout", 0, "per-call classifier deadline (0 disables)")
+		retries        = flag.Int("retries", 3, "max retries of a transient classifier failure")
+	)
+	flag.Parse()
+
+	ctx, stop := cli.Shutdown(context.Background())
+	defer stop()
+
+	var rec *shahin.Recorder
+	if *obsAddr != "" || *eventsOut != "" {
+		rec = shahin.NewRecorder()
+	}
+	if *obsAddr != "" {
+		osrv, err := shahin.ServeMetrics(*obsAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer osrv.Close() //shahinvet:allow errcheck — best-effort teardown at exit
+		fmt.Printf("observability: http://%s/ (/metrics, /progress, /trace, /events, /debug/pprof/)\n", osrv.Addr())
+	}
+
+	kind, err := shahin.ParseKind(*explainer)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := loadData(*name, *dataPath, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	train, _ := shahin.SplitDataset(d, 1.0/3, *seed+1)
+	stats, err := shahin.ComputeStats(train)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := shahin.TrainForest(train, shahin.ForestConfig{NumTrees: *trees, Seed: *seed + 2})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model: %d trees, train accuracy %.3f\n", *trees, model.Accuracy(train))
+
+	opts := shahin.Options{Explainer: kind, Seed: *seed + 3, Workers: *workers, Recorder: rec}
+	if *failRate > 0 || *spikeRate > 0 || *predictTimeout > 0 {
+		opts.Fault = &shahin.FaultConfig{
+			FailRate:       *failRate,
+			SpikeRate:      *spikeRate,
+			SpikeDelay:     *spikeDelay,
+			Seed:           *seed + 17,
+			PredictTimeout: *predictTimeout,
+			MaxRetries:     *retries,
+		}
+	}
+	warm, err := shahin.NewWarm(stats, model, opts, *staleAfter)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(warm, serve.Config{
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		QueueCap:       *queueCap,
+		RequestTimeout: *reqTimeout,
+		StorePath:      *storePath,
+		Recorder:       rec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *storePath != "" && srv.StoreLen() > 0 {
+		fmt.Printf("store: restored %d explanations from %s\n", srv.StoreLen(), *storePath)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hsrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("serving %s explanations for dataset %s on http://%s/ (batch window %v, batch max %d)\n",
+		kind, *name, ln.Addr(), *batchWindow, *batchMax)
+	errc := make(chan error, 1)
+	go func() { errc <- hsrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("\nshutdown: draining queued requests (second signal forces exit)")
+	case err := <-errc:
+		fatal(err)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "shahin-serve:", err)
+	}
+	if err := hsrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "shahin-serve:", err)
+	}
+	if *storePath != "" {
+		fmt.Printf("store: %d explanations snapshotted to %s\n", srv.StoreLen(), *storePath)
+	}
+	rep := warm.Report()
+	fmt.Printf("\n%s\n", rep.String())
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteEvents(f); err != nil {
+			f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("event log written to %s\n", *eventsOut)
+	}
+}
+
+// loadData reads the CSV when given, else generates synthetic tuples.
+func loadData(name, path string, rows int, seed int64) (*shahin.Dataset, error) {
+	if path == "" {
+		return shahin.GenerateDataset(name, rows, seed)
+	}
+	cfg, err := datagen.Spec(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+	return shahin.ReadCSV(f, cfg.Schema())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shahin-serve:", err)
+	os.Exit(1)
+}

@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
 
 	"shahin"
+	"shahin/internal/cli"
 )
 
 func main() {
@@ -85,8 +85,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		// Ctrl-C cancels the run; whatever finished is still flushed.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		// Ctrl-C cancels the run; whatever finished is still flushed. A
+		// second Ctrl-C forces an immediate exit without flushing.
+		ctx, stop := cli.Shutdown(context.Background())
 		res, err := batch.ExplainAllCtx(ctx, tuples)
 		stop()
 		if res == nil {
@@ -94,7 +95,7 @@ func main() {
 		}
 		doneTuples, doneExps := tuples, res.Explanations
 		if err != nil {
-			doneTuples, doneExps = finished(tuples, res.Explanations)
+			doneTuples, doneExps = cli.Finished(tuples, res.Explanations)
 			fmt.Printf("interrupted: flushing %d of %d explanations\n", len(doneExps), len(tuples))
 		}
 		st, err := shahin.BuildExplanationStore(doneTuples, doneExps)
@@ -159,22 +160,6 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want build or lookup)", *mode))
 	}
-}
-
-// finished keeps only the tuples a cancelled run actually explained
-// (unattempted ones carry StatusFailed and no payload).
-func finished(tuples [][]float64, exps []shahin.Explanation) ([][]float64, []shahin.Explanation) {
-	var (
-		ts [][]float64
-		es []shahin.Explanation
-	)
-	for i, e := range exps {
-		if e.Status != shahin.StatusFailed && (e.Attribution != nil || e.Rule != nil) {
-			ts = append(ts, tuples[i])
-			es = append(es, e)
-		}
-	}
-	return ts, es
 }
 
 // writeArtifact dumps one recorder artifact (span tree, event log) to

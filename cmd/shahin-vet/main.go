@@ -1,6 +1,6 @@
-// Command shahin-vet runs the project's static-analysis suite: five
-// analyzers enforcing the determinism, error-handling, and
-// nil-recorder invariants the reproduction depends on (see
+// Command shahin-vet runs the project's static-analysis suite: six
+// analyzers enforcing the determinism, error-handling, nil-recorder,
+// and documentation invariants the reproduction depends on (see
 // internal/analysis). It prints go-vet-style diagnostics (or JSON with
 // -json) and exits non-zero when anything is flagged:
 //

@@ -14,6 +14,9 @@
 //   - errcheck: no silently discarded error returns.
 //   - nilrecv: every exported pointer-receiver method in the obs layer
 //     guards the receiver against nil before touching its fields.
+//   - pkgdoc: every package has a package comment and every exported
+//     identifier a doc comment, so godoc stays complete as the API
+//     grows.
 //
 // Findings can be suppressed per line with a
 //
@@ -60,7 +63,7 @@ type Analyzer struct {
 
 // All returns the full suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, ErrCheck, MapOrder, NilRecv, WallTime}
+	return []*Analyzer{DetRand, ErrCheck, MapOrder, NilRecv, PkgDoc, WallTime}
 }
 
 // Pass is one (analyzer, package) run. Analyzers report findings

@@ -57,6 +57,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"walltime", WallTime},
 		{"errcheck", ErrCheck},
 		{"obs", NilRecv},
+		{"pkgdoc", PkgDoc},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,60 @@
+package pkgdoc // want "package pkgdoc has no package comment"
+
+// Documented is fine: exported type with a doc comment.
+type Documented struct{ n int }
+
+type Naked struct { // want "exported type Naked has no doc comment"
+	n int
+}
+
+type hidden struct{ n int } // ok: unexported
+
+// Grouped declarations: the group doc covers every spec.
+type (
+	CoveredA struct{}
+	CoveredB struct{}
+)
+
+type (
+	Uncovered struct { // want "exported type Uncovered has no doc comment"
+		n int
+	}
+)
+
+// Explain is fine: exported method on an exported type, documented.
+func (d *Documented) Explain() int { return d.n }
+
+func (d *Documented) Bare() int { return d.n } // want "exported method Documented.Bare has no doc comment"
+
+func (h *hidden) Bare() int { return h.n } // ok: receiver type is unexported
+
+// Run is fine: exported function with a doc comment.
+func Run() {}
+
+func Walk() {} // want "exported function Walk has no doc comment"
+
+func Allowed() {} //shahinvet:allow pkgdoc — fixture exercises suppression
+
+func helper() {} // ok: unexported
+
+// Limits for the fixture: a group doc covering its const specs.
+const (
+	MaxA = 1
+	MaxB = 2
+)
+
+const (
+	LineCommented = 3 // ok: a trailing line comment documents the spec
+
+	Undocumented = "un" + // want "exported const Undocumented has no doc comment"
+		"documented"
+)
+
+var Registry = map[string]int{ // want "exported var Registry has no doc comment"
+	"a": 1,
+}
+
+// Quiet is fine: documented package-level var.
+var Quiet = 0
+
+var _ = helper // ok: blank names need no doc

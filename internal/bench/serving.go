@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"shahin/internal/core"
+	"shahin/internal/obs"
+	"shahin/internal/serve"
+)
+
+// Serving is the online-service acceptance experiment: a live
+// shahin-serve pipeline (admission queue, warm pool, explanation store)
+// under a mixed workload of cfg.Batch requests — concurrent singles, a
+// batch call, and exact repeats — fired at a real HTTP listener. It
+// records client-observed p50/p95/p99 request latency and the warm
+// pool's reuse ratio, and enforces the serving invariants: every
+// request answered, no failed tuples, cross-request reuse above zero,
+// repeats served from the store, and a graceful drain that answers
+// queued requests before shutdown.
+func Serving(cfg Config) (*Table, error) {
+	cfg = cfg.Fill()
+	env, err := NewEnv("census", cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.Batch
+	if total < 8 {
+		total = 8
+	}
+	// Workload mix: ~1/2 concurrent singles over unique tuples, ~1/4 in
+	// one batch call, ~1/4 exact repeats of the singles (store hits).
+	singles := total / 2
+	batched := total / 4
+	repeats := total - singles - batched
+	// One extra unseen tuple for the drain phase, so that request has to
+	// be computed (not store-answered) while the server shuts down.
+	tuples, err := env.Tuples(singles + batched + 1)
+	if err != nil {
+		return nil, err
+	}
+	late := tuples[singles+batched]
+
+	// The experiment needs a recorder of its own authority: the serving
+	// histograms feed the ledger and the queue-depth gauge synchronises
+	// the drain phase below.
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.NewRecorder()
+	}
+	rec := cfg.Recorder
+	opts := cfg.Options(core.LIME)
+	warm, err := core.NewWarm(env.Stats, env.Classifier(), opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(warm, serve.Config{
+		BatchWindow: 5 * time.Millisecond,
+		BatchMax:    64,
+		Recorder:    rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go hsrv.Serve(ln) //shahinvet:allow errcheck — always returns ErrServerClosed after Shutdown
+	base := "http://" + ln.Addr().String()
+	defer hsrv.Close() //shahinvet:allow errcheck — best-effort teardown after the workload
+
+	latencies := make([]time.Duration, 0, total)
+	var latMu sync.Mutex
+	observe := func(d time.Duration) {
+		latMu.Lock()
+		latencies = append(latencies, d)
+		latMu.Unlock()
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	post := func(path string, body, out any) error {
+		start := time.Now() //shahinvet:allow walltime — client-observed request latency is the experiment's metric
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: HTTP %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return err
+		}
+		observe(time.Since(start))
+		return nil
+	}
+
+	// Phase 1: concurrent singles.
+	results := make([]serve.ExplainResponse, singles)
+	errs := make([]error, singles)
+	var wg sync.WaitGroup
+	for i := 0; i < singles; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = post("/v1/explain", serve.ExplainRequest{Tuple: tuples[i]}, &results[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serving: single %d: %w", i, err)
+		}
+		if results[i].Status != "ok" {
+			return nil, fmt.Errorf("serving: single %d answered %q, want ok", i, results[i].Status)
+		}
+	}
+
+	// Phase 2: one batch call over fresh tuples.
+	var batchResp serve.BatchResponse
+	if err := post("/v1/explain/batch", serve.BatchRequest{Tuples: tuples[singles : singles+batched]}, &batchResp); err != nil {
+		return nil, fmt.Errorf("serving: batch call: %w", err)
+	}
+	for i, e := range batchResp.Explanations {
+		if e.Status != "ok" {
+			return nil, fmt.Errorf("serving: batch tuple %d answered %q, want ok", i, e.Status)
+		}
+	}
+
+	// Phase 3: exact repeats of phase-1 tuples; the store must answer.
+	storeHits := 0
+	for i := 0; i < repeats; i++ {
+		var r serve.ExplainResponse
+		if err := post("/v1/explain", serve.ExplainRequest{Tuple: tuples[i%singles]}, &r); err != nil {
+			return nil, fmt.Errorf("serving: repeat %d: %w", i, err)
+		}
+		if r.Source == "store" {
+			storeHits++
+		}
+		// A repeat must return the identical explanation the first
+		// request got — the store is a cache, not an approximation.
+		if a, b := mustJSON(r.Explanation), mustJSON(results[i%singles].Explanation); a != b {
+			return nil, fmt.Errorf("serving: repeat %d diverged from its original explanation", i)
+		}
+	}
+	if storeHits != repeats {
+		return nil, fmt.Errorf("serving: %d of %d repeats hit the store", storeHits, repeats)
+	}
+
+	// Graceful drain with one more request in flight: fire it, wait
+	// until it is provably admitted (queue-depth gauge > 0) or already
+	// answered, then drain — the request must be answered, not dropped.
+	lateDone := make(chan error, 1)
+	go func() {
+		var r serve.ExplainResponse
+		lateDone <- post("/v1/explain", serve.ExplainRequest{Tuple: late}, &r)
+	}()
+	depth := rec.Gauge(obs.GaugeServeQueueDepth)
+	admitted := time.Now() //shahinvet:allow walltime — bounds the admission wait below
+	for depth.Value() == 0 && len(lateDone) == 0 && time.Since(admitted) < 10*time.Second {
+		time.Sleep(time.Millisecond) //shahinvet:allow walltime — polling an external HTTP round-trip
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return nil, fmt.Errorf("serving: drain: %w", err)
+	}
+	if err := <-lateDone; err != nil {
+		return nil, fmt.Errorf("serving: request during drain: %w", err)
+	}
+
+	rep := warm.Report()
+	if rep.Failed > 0 {
+		return nil, fmt.Errorf("serving: %d failed tuples in the warm report", rep.Failed)
+	}
+	if rep.ReusedSamples == 0 {
+		return nil, fmt.Errorf("serving: zero cross-request sample reuse")
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Serving: %d-request mixed workload (census, LIME), batch window 5ms",
+			total),
+		Header: []string{"Metric", "Value"},
+	}
+	t.AddRow("requests (singles/batched/repeats)", fmt.Sprintf("%d (%d/%d/%d)", total, singles, batched, repeats))
+	t.AddRow("flushes", fmt.Sprintf("%d", warm.Flushes()))
+	t.AddRow("pool re-mines", fmt.Sprintf("%d", warm.Remines()))
+	t.AddRow("store hits", fmt.Sprintf("%d", storeHits))
+	t.AddRow("request p50 (ms)", f2(q(0.50)))
+	t.AddRow("request p95 (ms)", f2(q(0.95)))
+	t.AddRow("request p99 (ms)", f2(q(0.99)))
+	t.AddRow("reuse ratio", f3(rep.ReuseRate()))
+	t.AddRow("classifier invocations", fmt.Sprintf("%d", rep.Invocations))
+	t.AddRow("degraded / failed", fmt.Sprintf("%d / %d", rep.Degraded, rep.Failed))
+	t.AddNote("invariants verified: all %d requests answered ok; 0 failed tuples; reuse ratio %.3f > 0; %d/%d repeats store-answered; drain answered the in-flight request",
+		total, rep.ReuseRate(), storeHits, repeats)
+	return t, nil
+}
+
+// mustJSON marshals for byte comparison; explanations always marshal.
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("marshal error: %v", err)
+	}
+	return string(b)
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"shahin/internal/obs"
+)
+
+// TestServing runs the full serving acceptance experiment — a
+// 200-request mixed workload (concurrent singles, one batch call, exact
+// repeats, one request in flight during drain) against a live HTTP
+// listener — at reduced per-request cost. The experiment errors out
+// internally if any serving invariant breaks (unanswered request,
+// failed tuple, zero reuse, repeat missing the store, dropped drain
+// request), so the test mostly asserts it completes and that the
+// recorder captured the request-latency histogram the ledger persists.
+func TestServing(t *testing.T) {
+	cfg := tiny()
+	cfg.Batch = 200
+	cfg.Recorder = obs.NewRecorder()
+	tab, err := Serving(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Title, "200-request") {
+		t.Fatalf("table title %q does not reflect the workload size", tab.Title)
+	}
+	var rows int
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "request p") && row[1] == "0.00" {
+			t.Fatalf("latency quantile %s recorded as zero", row[0])
+		}
+		rows++
+	}
+	if rows == 0 {
+		t.Fatal("serving table has no rows")
+	}
+	hist := cfg.Recorder.Metrics().Histograms[obs.HistServeRequest]
+	if hist.Count < 200 {
+		t.Fatalf("request-latency histogram recorded %d observations, want >= 200", hist.Count)
+	}
+	if cfg.Recorder.Counter(obs.CounterServeFlushes).Value() == 0 {
+		t.Fatal("no serving flushes counted")
+	}
+}

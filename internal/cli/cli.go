@@ -1,0 +1,96 @@
+// Package cli holds the small pieces of behaviour the shahin binaries
+// share so they cannot drift apart: the two-stage signal protocol
+// (first SIGINT/SIGTERM cancels gracefully, a second one forces exit)
+// and the rule for marking tuples a cancelled run never attempted.
+//
+// Both shahin-explain's Ctrl-C partial print and shahin-serve's
+// graceful drain go through this package, so an unattempted tuple is
+// reported as StatusFailed identically no matter which binary — or
+// which shutdown path — produced it.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"shahin/internal/core"
+)
+
+// Shutdown returns a context cancelled by the first SIGINT or SIGTERM.
+// A second signal does not wait for graceful teardown: it prints a note
+// to stderr and exits the process immediately with status 1. Call stop
+// to release the signal handler once shutdown is complete.
+func Shutdown(parent context.Context) (ctx context.Context, stop func()) {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := shutdownContext(parent, sigs, os.Exit, os.Stderr)
+	return ctx, func() {
+		signal.Stop(sigs)
+		cancel()
+	}
+}
+
+// shutdownContext implements Shutdown against an injected signal
+// channel and exit function so the double-signal path is testable.
+// The first signal cancels the returned context; the second calls
+// exit(1) after noting the forced shutdown on logw.
+func shutdownContext(parent context.Context, sigs <-chan os.Signal, exit func(int), logw io.Writer) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		select {
+		case <-sigs:
+		case <-ctx.Done():
+			return
+		}
+		cancel()
+		select {
+		case <-sigs:
+			fmt.Fprintln(logw, "second signal: forcing exit without graceful drain")
+			exit(1)
+		case <-parent.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// Finished keeps only the tuple/explanation pairs a cancelled run
+// actually answered, applying FailUnattempted first so the filter and
+// the status marking can never disagree. shahin-store uses it to flush
+// the partial result of an interrupted pre-compute; shahin-serve's
+// drain path persists through the same status rule.
+func Finished(tuples [][]float64, exps []core.Explanation) ([][]float64, []core.Explanation) {
+	FailUnattempted(exps)
+	var (
+		ts [][]float64
+		es []core.Explanation
+	)
+	for i, e := range exps {
+		if e.Status != core.StatusFailed {
+			ts = append(ts, tuples[i])
+			es = append(es, e)
+		}
+	}
+	return ts, es
+}
+
+// FailUnattempted marks every explanation that carries no payload and
+// no status — the shape a cancelled run leaves behind for tuples it
+// never reached — as StatusFailed, and reports how many explanations
+// were actually attempted (OK or degraded). Explanations that already
+// carry a status are left untouched.
+func FailUnattempted(exps []core.Explanation) (attempted int) {
+	for i := range exps {
+		e := &exps[i]
+		if e.Status == core.StatusOK && e.Attribution == nil && e.Rule == nil {
+			e.Status = core.StatusFailed
+		}
+		if e.Status != core.StatusFailed {
+			attempted++
+		}
+	}
+	return attempted
+}

@@ -198,7 +198,7 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 	}
 	out := make([]Explanation, len(tuples))
 	if pool != nil && opts.Workers > 1 {
-		if err := b.explainParallel(ctx, tuples, out, repo, sets, opts, &rep, fb); err != nil {
+		if err := explainParallel(ctx, b.st, b.cls, tuples, out, repo.Snapshot(), sets, opts, &rep, fb); err != nil {
 			return nil, err
 		}
 		rep.Invocations += poolInv
@@ -291,9 +291,10 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 // its own fork of the bridge (the fault chain underneath is shared and
 // internally locked), so no synchronisation is needed on the hot path.
 // Cancelling ctx stops every worker between tuples; slots never
-// attempted are marked StatusFailed.
-func (b *Batch) explainParallel(ctx context.Context, tuples [][]float64, out []Explanation, repo *cache.Repo, sets []dataset.Itemset, opts Options, rep *Report, fb *fallibleBridge) error {
-	snap := repo.Snapshot()
+// attempted are marked StatusFailed. Shared by the batch and warm
+// (serving) variants, which is why it is a free function over an
+// immutable snapshot rather than a Batch method.
+func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, tuples [][]float64, out []Explanation, snap cache.Snapshot, sets []dataset.Itemset, opts Options, rep *Report, fb *fallibleBridge) error {
 	workers := opts.Workers
 	if workers > len(tuples) {
 		workers = len(tuples)
@@ -320,7 +321,7 @@ func (b *Batch) explainParallel(ctx context.Context, tuples [][]float64, out []E
 			wfb = fb.fork()
 			wfb.setPool(snap, sets)
 		}
-		engines[w] = newEngineBridge(wopts, b.st, b.cls, nil, rand.New(rand.NewSource(wopts.Seed)), wfb)
+		engines[w] = newEngineBridge(wopts, st, cls, nil, rand.New(rand.NewSource(wopts.Seed)), wfb)
 		pools[w] = newItemsetPool(snap, sets, rec)
 		attempted[w] = make([]bool, len(tuples))
 		wg.Add(1)

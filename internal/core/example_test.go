@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"shahin/internal/core"
+)
+
+// ExampleStatus shows the three answer classes of the failure model and
+// their JSON wire form: the zero value marshals as "ok", so explanation
+// documents from infallible runs are byte-identical to the pre-failure-
+// model era.
+func ExampleStatus() {
+	fmt.Println(core.StatusOK, core.StatusDegraded, core.StatusFailed)
+
+	wire, _ := json.Marshal(core.StatusDegraded)
+	fmt.Println(string(wire))
+
+	var back core.Status
+	_ = json.Unmarshal([]byte(`"failed"`), &back)
+	fmt.Println(back == core.StatusFailed)
+	// Output:
+	// ok degraded failed
+	// "degraded"
+	// true
+}

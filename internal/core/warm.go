@@ -1,0 +1,459 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"shahin/internal/cache"
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/explain/anchor"
+	"shahin/internal/fim"
+	"shahin/internal/obs"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+)
+
+// Warm is the serving variant of Shahin: a long-lived explainer whose
+// frequent-itemset pool, pre-labelled perturbations, and cache persist
+// across ExplainAllCtx calls. Where Batch mines and materialises a pool
+// per call and Stream pays per-tuple bookkeeping, Warm amortises one
+// pool across many small flushes — the shape a micro-batching
+// explanation service produces — so a tuple arriving in flush 40 reuses
+// samples labelled for flush 1.
+//
+// The pool is re-mined when stale: after StaleAfter tuples have been
+// explained since the last mine, the next flush re-mines over the
+// window of recently seen tuples, materialises newly frequent itemsets,
+// and evicts ones that fell out of fashion (same policy as the
+// streaming variant, §3.5 of the paper).
+//
+// ExplainAllCtx is safe for concurrent use; calls serialise on an
+// internal mutex so flushes never interleave and the same sequence of
+// flush compositions reproduces byte-identical explanations.
+type Warm struct {
+	opts       Options
+	st         *dataset.Stats
+	cls        rf.Classifier
+	staleAfter int
+	maxPooled  int
+
+	mu      sync.Mutex
+	repo    *cache.Repo
+	sh      *anchor.Shared // Anchor-only persistent shared state
+	sets    []dataset.Itemset
+	window  []dataset.Itemset // itemised tuples since the last re-mine
+	mined   bool
+	since   int // tuples explained since the last re-mine
+	flushes int
+	remines int
+	cum     Report
+}
+
+// DefaultStaleAfter is the re-mine staleness threshold (in explained
+// tuples) a Warm explainer uses when the caller passes staleAfter <= 0.
+const DefaultStaleAfter = 2048
+
+// NewWarm creates a warm explainer over the training statistics and a
+// black-box classifier. staleAfter is the number of tuples explained
+// between pool re-mines (<= 0 selects DefaultStaleAfter).
+func NewWarm(st *dataset.Stats, cls rf.Classifier, opts Options, staleAfter int) (*Warm, error) {
+	if st == nil || cls == nil {
+		return nil, fmt.Errorf("core: NewWarm needs stats and a classifier")
+	}
+	opts = opts.withDefaults()
+	if staleAfter <= 0 {
+		staleAfter = DefaultStaleAfter
+	}
+	w := &Warm{
+		opts:       opts,
+		st:         st,
+		cls:        cls,
+		staleAfter: staleAfter,
+		repo:       cache.NewRepo(opts.CacheBytes),
+	}
+	w.repo.SetHooks(cacheHooks(opts.Recorder))
+	// Same resource rule as the other variants: cap how many itemsets get
+	// materialised so pool construction never swamps a re-mine window.
+	w.maxPooled = opts.MaxItemsets
+	if cap := poolBudget(opts, staleAfter) / opts.Tau; cap < w.maxPooled {
+		if cap < 10 {
+			cap = 10
+		}
+		w.maxPooled = cap
+	}
+	if opts.Explainer == Anchor {
+		w.sh = anchor.NewShared(cls.NumClasses(), opts.CacheBytes)
+		w.sh.Repo.SetHooks(cacheHooks(opts.Recorder))
+	}
+	return w, nil
+}
+
+// ExplainAll explains one flush of tuples against the warm pool.
+func (w *Warm) ExplainAll(tuples [][]float64) (*Result, error) {
+	return w.ExplainAllCtx(context.Background(), tuples)
+}
+
+// ExplainAllCtx explains one flush of tuples, reusing the pool
+// materialised by earlier flushes and re-mining it first if stale.
+// Cancellation semantics match Batch.ExplainAllCtx: a cancelled ctx
+// stops the flush between predictions, unattempted tuples carry
+// StatusFailed, and the partial Result is returned alongside ctx.Err().
+// The returned Report covers this flush only; Report() accumulates
+// across flushes.
+func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, error) {
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("core: empty flush")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	opts := w.opts
+	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
+	w.flushes++
+	// Every flush gets a fresh deterministic RNG derived from the flush
+	// index, so the same sequence of flush compositions reproduces
+	// byte-identical explanations regardless of wall-clock timing.
+	rng := rand.New(rand.NewSource(opts.Seed + 104729*int64(w.flushes)))
+	fb := buildBridge(ctx, opts, w.st, w.cls)
+	eng := newEngineBridge(opts, w.st, w.cls, w.window, rng, fb)
+	rec := opts.Recorder
+	root := rec.StartSpan(obs.StageWarmFlush)
+	root.SetAttr("tuples", len(tuples))
+	root.SetAttr("flush", w.flushes)
+	defer root.End()
+
+	// Track the incoming tuples for the next re-mine window.
+	for _, t := range tuples {
+		w.window = append(w.window, append(dataset.Itemset(nil), w.st.ItemizeRow(t, nil)...))
+	}
+	if max := 4 * w.staleAfter; len(w.window) > max {
+		w.window = append(w.window[:0:0], w.window[len(w.window)-max:]...)
+	}
+
+	rep := Report{Tuples: len(tuples)}
+	if !w.mined || w.since >= w.staleAfter {
+		w.remine(ctx, eng, rng, root, &rep)
+	}
+	if fb != nil {
+		if w.sh != nil {
+			fb.setPool(w.sh.Repo, w.sets)
+		} else {
+			fb.setPool(w.repo, w.sets)
+		}
+	}
+
+	// Explain the flush against the (now fresh enough) warm pool.
+	explainSpan := root.Child(obs.StageExplain)
+	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
+	out := make([]Explanation, len(tuples))
+	poolInv := rep.PoolInvocations
+	if w.sh == nil && opts.Workers > 1 {
+		if err := explainParallel(ctx, w.st, w.cls, tuples, out, w.repo.Snapshot(), w.sets, opts, &rep, fb); err != nil {
+			return nil, err
+		}
+		rep.Invocations += poolInv
+	} else {
+		if err := w.explainSerial(ctx, eng, tuples, out, &rep); err != nil {
+			return nil, err
+		}
+	}
+	rep.ExplainTime = time.Since(explainStart)
+	explainSpan.End()
+	w.since += len(tuples)
+
+	if w.sh != nil {
+		rep.Cache = w.sh.Repo.Stats()
+	} else {
+		rep.Cache = w.repo.Stats()
+	}
+	rep.FrequentItemsets = len(w.sets)
+	for i := range out {
+		switch out[i].Status {
+		case StatusDegraded:
+			rep.Degraded++
+		case StatusFailed:
+			rep.Failed++
+		}
+	}
+	if fb != nil {
+		rep.Retries = fb.chain.Stats().Retries
+	}
+	rep.WallTime = time.Since(start)
+	w.accumulate(rep)
+	return &Result{Explanations: out, Report: rep}, ctx.Err()
+}
+
+// explainSerial runs the per-tuple phase on the caller's goroutine
+// against the live repository (the path Anchor and Workers == 1 take).
+func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float64, out []Explanation, rep *Report) error {
+	opts := w.opts
+	rec := opts.Recorder
+	var (
+		tupleHist *obs.Histogram
+		doneCtr   *obs.Counter
+	)
+	if rec != nil {
+		tupleHist = rec.Histogram(obs.HistExplainTuple)
+		doneCtr = rec.Counter(obs.CounterTuplesDone)
+	}
+	var pool *itemsetPool
+	if w.sh == nil {
+		pool = newItemsetPool(w.repo, w.sets, rec)
+	}
+	for i, t := range tuples {
+		if ctx.Err() != nil {
+			for j := i; j < len(tuples); j++ {
+				out[j].Status = StatusFailed
+			}
+			break
+		}
+		var pl explain.Pool
+		if pool != nil {
+			pool.beginTuple()
+			pl = pool
+		}
+		eng.beginTuple()
+		var (
+			tupleStart time.Time
+			inv0       int64
+			anchorHits int64
+		)
+		if tupleHist != nil {
+			tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
+			inv0 = eng.invocations()
+			if w.sh != nil {
+				anchorHits = w.sh.Repo.Stats().Hits
+			}
+		}
+		exp, err := eng.explain(t, pl, w.sh)
+		if err != nil {
+			return fmt.Errorf("core: explaining tuple %d: %w", i, err)
+		}
+		exp.Status = eng.tupleStatus()
+		if tupleHist != nil {
+			dur := time.Since(tupleStart)
+			tupleHist.Observe(dur)
+			doneCtr.Inc()
+			ev := obs.Event{
+				Type: obs.EventTupleExplained, Tuple: i,
+				Explainer: opts.Explainer.String(),
+				Fresh:     eng.invocations() - inv0,
+				DurMS:     float64(dur) / float64(time.Millisecond),
+			}
+			if pool != nil {
+				ev.Pooled, ev.CacheHits, ev.Itemset = pool.provenance()
+			} else if w.sh != nil {
+				ev.CacheHits = w.sh.Repo.Stats().Hits - anchorHits
+			}
+			if exp.Status != StatusOK {
+				ev.Status = exp.Status.String()
+			}
+			rec.Emit(ev)
+		}
+		out[i] = exp
+	}
+	rep.Invocations += eng.invocations()
+	if pool != nil {
+		rep.OverheadTime += pool.retrieval
+		rep.ReusedSamples = pool.reused
+	}
+	return nil
+}
+
+// remine recomputes the frequent itemsets over the recent-tuple window,
+// materialises newly frequent itemsets through eng (so pool labels count
+// toward the invocation ledger), evicts no-longer-frequent entries, and
+// resets the staleness clock.
+func (w *Warm) remine(ctx context.Context, eng *engine, rng *rand.Rand, root *obs.Span, rep *Report) {
+	opts := w.opts
+	rec := opts.Recorder
+	mineSpan := root.Child(obs.StageMine)
+	mineStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
+	rows := w.window
+	if n := fim.SampleSize(len(rows)); n < len(rows) {
+		idx := rng.Perm(len(rows))[:n]
+		sort.Ints(idx)
+		sampled := make([]dataset.Itemset, n)
+		for i, j := range idx {
+			sampled[i] = rows[j]
+		}
+		rows = sampled
+	}
+	mined, err := fim.Mine(rows, fim.Config{
+		MinSupport:  effectiveSupport(opts.MinSupport, len(rows)),
+		MaxLen:      opts.MaxItemsetLen,
+		MaxPerLevel: 4 * opts.MaxItemsets,
+	})
+	rep.MineTime = time.Since(mineStart)
+	rep.OverheadTime += rep.MineTime
+	mineSpan.End()
+	if err != nil {
+		// Mining over a non-empty window cannot fail with a validated
+		// config; keep the previous pool if it somehow does.
+		return
+	}
+	frequent := mined.Frequent
+	if len(frequent) > w.maxPooled {
+		frequent = frequent[:w.maxPooled]
+	}
+	mineSpan.SetAttr("frequent_itemsets", len(frequent))
+
+	repo := sampleRepo(w.repo, w.sh)
+	keep := make(map[dataset.ItemsetKey]bool, len(frequent))
+	for _, m := range frequent {
+		keep[m.Set.Key()] = true
+	}
+	for _, key := range repo.Keys() {
+		if !keep[key] {
+			repo.Delete(key)
+		}
+	}
+
+	poolSpan := root.Child(obs.StagePoolBuild)
+	preLabelSpan := poolSpan.Child(obs.StagePreLabel)
+	poolStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
+	inv0 := eng.invocations()
+	gen := perturb.NewGenerator(w.st, rng)
+	sets := make([]dataset.Itemset, 0, len(frequent))
+	materialised := 0
+	for _, m := range frequent {
+		if ctx.Err() != nil {
+			break
+		}
+		if !repo.Contains(m.Set.Key()) {
+			w.materialize(eng, gen, m.Set, m.Support)
+			materialised++
+		}
+		sets = append(sets, m.Set)
+	}
+	rep.PoolTime = time.Since(poolStart)
+	rep.PoolInvocations = eng.invocations() - inv0
+	preLabelSpan.End()
+	poolSpan.SetAttr("pool_invocations", rep.PoolInvocations)
+	poolSpan.End()
+	rec.Counter(obs.CounterPoolInvocations).Add(rep.PoolInvocations)
+	rec.Emit(obs.Event{
+		Type: obs.EventRemine, Tuple: -1, Itemsets: len(sets),
+		Fresh: rep.PoolInvocations,
+		DurMS: float64(rep.MineTime+rep.PoolTime) / float64(time.Millisecond),
+	})
+	if materialised > 0 {
+		rec.Emit(obs.Event{
+			Type: obs.EventPoolBuild, Tuple: -1, Itemsets: materialised,
+			Fresh: rep.PoolInvocations, DurMS: float64(rep.PoolTime) / float64(time.Millisecond),
+		})
+	}
+	w.sets = sets
+	w.window = w.window[:0]
+	w.since = 0
+	w.mined = true
+	w.remines++
+}
+
+// materialize generates and labels τ perturbations for one itemset in
+// the persistent repository (and, for Anchor, the invariant cache).
+func (w *Warm) materialize(eng *engine, gen *perturb.Generator, set dataset.Itemset, support float64) {
+	tau := w.opts.Tau
+	var setStart time.Time
+	rec := w.opts.Recorder
+	if rec != nil {
+		setStart = time.Now() //shahinvet:allow walltime — per-itemset pre-label timing feeds the obs event log
+	}
+	inv0 := eng.invocations()
+	if w.sh != nil {
+		rr, _ := w.sh.Inv.Lookup(set.Key())
+		hist := make([]int, eng.cls.NumClasses())
+		samples := make([]perturb.Sample, tau)
+		for j := range samples {
+			s := gen.ForItemset(set)
+			s.Label = eng.cls.Predict(s.Row)
+			hist[s.Label]++
+			samples[j] = s
+		}
+		rr.AddTrials(hist)
+		rr.Coverage = support
+		rr.HasCoverage = true
+		w.sh.Repo.Put(set.Key(), samples)
+	} else {
+		samples := make([]perturb.Sample, tau)
+		for j := range samples {
+			s := gen.ForItemset(set)
+			s.Label = eng.cls.Predict(s.Row)
+			samples[j] = s
+		}
+		w.repo.Put(set.Key(), samples)
+	}
+	if rec != nil {
+		rec.Emit(obs.Event{
+			Type: obs.EventPreLabel, Tuple: -1, Itemset: set.String(),
+			Fresh: eng.invocations() - inv0,
+			DurMS: float64(time.Since(setStart)) / float64(time.Millisecond),
+		})
+	}
+}
+
+// accumulate folds one flush report into the cumulative one.
+func (w *Warm) accumulate(rep Report) {
+	c := &w.cum
+	c.Tuples += rep.Tuples
+	c.WallTime += rep.WallTime
+	c.OverheadTime += rep.OverheadTime
+	c.MineTime += rep.MineTime
+	c.PoolTime += rep.PoolTime
+	c.ExplainTime += rep.ExplainTime
+	c.Invocations += rep.Invocations
+	c.PoolInvocations += rep.PoolInvocations
+	c.ReusedSamples += rep.ReusedSamples
+	c.FrequentItemsets = rep.FrequentItemsets
+	c.Cache = rep.Cache
+	c.Retries += rep.Retries
+	c.Degraded += rep.Degraded
+	c.Failed += rep.Failed
+}
+
+// Report returns the cost accounting accumulated across every flush.
+func (w *Warm) Report() Report {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cum
+}
+
+// Flushes reports how many ExplainAllCtx calls have run.
+func (w *Warm) Flushes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushes
+}
+
+// Remines reports how many staleness-triggered pool re-mines have run.
+func (w *Warm) Remines() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.remines
+}
+
+// NumAttrs reports the tuple width the explainer expects — the number
+// of attributes of the training statistics it was built over.
+func (w *Warm) NumAttrs() int { return w.st.NumAttrs() }
+
+// PooledItemsets reports how many itemsets currently hold materialised
+// perturbations.
+func (w *Warm) PooledItemsets() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return sampleRepo(w.repo, w.sh).Len()
+}
+
+// sampleRepo picks the active repository: Anchor runs share sh.Repo,
+// everything else the plain perturbation repo.
+func sampleRepo(repo *cache.Repo, sh *anchor.Shared) *cache.Repo {
+	if sh != nil {
+		return sh.Repo
+	}
+	return repo
+}

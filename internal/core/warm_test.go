@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"shahin/internal/obs"
+)
+
+// TestWarmReusesPoolAcrossFlushes is the warm variant's core claim:
+// after the first flush mines and materialises the pool, later flushes
+// spend zero pool invocations yet still reuse pooled samples.
+func TestWarmReusesPoolAcrossFlushes(t *testing.T) {
+	env := newEnv(t, 1, 60)
+	w, err := NewWarm(env.st, env.cls, smallOpts(LIME, 1), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := w.ExplainAll(env.tuples[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Report.PoolInvocations == 0 {
+		t.Fatalf("first flush should mine and build the pool")
+	}
+	if w.Remines() != 1 {
+		t.Fatalf("Remines = %d, want 1", w.Remines())
+	}
+	second, err := w.ExplainAll(env.tuples[20:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Report.PoolInvocations != 0 {
+		t.Fatalf("second flush rebuilt the pool (%d pool invocations); the warm store should persist",
+			second.Report.PoolInvocations)
+	}
+	if second.Report.ReusedSamples == 0 {
+		t.Fatalf("second flush reused nothing; cross-flush sharing is broken")
+	}
+	if w.Flushes() != 2 {
+		t.Fatalf("Flushes = %d, want 2", w.Flushes())
+	}
+	cum := w.Report()
+	if cum.Tuples != 40 {
+		t.Fatalf("cumulative Tuples = %d, want 40", cum.Tuples)
+	}
+	if cum.ReusedSamples < second.Report.ReusedSamples {
+		t.Fatalf("cumulative reuse %d < flush reuse %d", cum.ReusedSamples, second.Report.ReusedSamples)
+	}
+}
+
+// TestWarmStalenessRemine drives enough tuples past the staleness
+// threshold that a second mine fires.
+func TestWarmStalenessRemine(t *testing.T) {
+	env := newEnv(t, 2, 90)
+	w, err := NewWarm(env.st, env.cls, smallOpts(LIME, 2), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.ExplainAll(env.tuples[30*i : 30*i+30]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush 1 mines (never mined); flush 2 re-mines (30 >= 30 stale);
+	// flush 3 re-mines again.
+	if w.Remines() != 3 {
+		t.Fatalf("Remines = %d, want 3 with staleAfter=30 and 3x30 tuples", w.Remines())
+	}
+	if w.PooledItemsets() == 0 {
+		t.Fatalf("no pooled itemsets after re-mine")
+	}
+}
+
+// TestWarmDeterministicFlushSequence re-runs the same sequence of flush
+// compositions and requires byte-identical explanations — the guarantee
+// DESIGN.md §11 documents for the serving layer.
+func TestWarmDeterministicFlushSequence(t *testing.T) {
+	env := newEnv(t, 3, 50)
+	run := func() []byte {
+		w, err := NewWarm(env.st, env.cls, smallOpts(LIME, 3), 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []Explanation
+		for _, cut := range [][2]int{{0, 17}, {17, 31}, {31, 50}} {
+			res, err := w.ExplainAll(env.tuples[cut[0]:cut[1]])
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, res.Explanations...)
+		}
+		b, err := json.Marshal(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same flush sequence produced different explanations")
+	}
+}
+
+// TestWarmParallelMatchesSerial checks the worker-sharded flush path
+// produces the same per-flush accounting shape and no failed tuples.
+func TestWarmParallelMatchesSerial(t *testing.T) {
+	env := newEnv(t, 4, 40)
+	opts := smallOpts(LIME, 4)
+	opts.Workers = 4
+	w, err := NewWarm(env.st, env.cls, opts, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ExplainAll(env.tuples[:20]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.ExplainAll(env.tuples[20:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Failed != 0 {
+		t.Fatalf("%d failed tuples on the parallel warm path", res.Report.Failed)
+	}
+	for i, e := range res.Explanations {
+		if e.Attribution == nil {
+			t.Fatalf("tuple %d missing attribution", i)
+		}
+	}
+	if res.Report.ReusedSamples == 0 {
+		t.Fatalf("parallel flush reused nothing from the warm pool")
+	}
+}
+
+// TestWarmCancelMarksUnattempted cancels before a flush and requires
+// every tuple of that flush to come back StatusFailed.
+func TestWarmCancelMarksUnattempted(t *testing.T) {
+	env := newEnv(t, 5, 30)
+	w, err := NewWarm(env.st, env.cls, smallOpts(LIME, 5), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ExplainAll(env.tuples[:10]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := w.ExplainAllCtx(ctx, env.tuples[10:])
+	if err == nil {
+		t.Fatalf("cancelled flush returned nil error")
+	}
+	if res == nil {
+		t.Fatalf("cancelled flush returned nil result; partials are part of the contract")
+	}
+	for i, e := range res.Explanations {
+		if e.Status != StatusFailed {
+			t.Fatalf("tuple %d status = %v, want failed", i, e.Status)
+		}
+	}
+}
+
+// TestWarmEmitsRemineEvents checks the provenance trail: a warm run
+// with a recorder produces re_mine and tuple_explained events.
+func TestWarmEmitsRemineEvents(t *testing.T) {
+	env := newEnv(t, 6, 20)
+	opts := smallOpts(LIME, 6)
+	rec := obs.NewRecorder()
+	opts.Recorder = rec
+	w, err := NewWarm(env.st, env.cls, opts, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ExplainAll(env.tuples); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := rec.Events()
+	var remines, explained int
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventRemine:
+			remines++
+		case obs.EventTupleExplained:
+			explained++
+		}
+	}
+	if remines != 1 {
+		t.Fatalf("re_mine events = %d, want 1", remines)
+	}
+	if explained != len(env.tuples) {
+		t.Fatalf("tuple_explained events = %d, want %d", explained, len(env.tuples))
+	}
+}

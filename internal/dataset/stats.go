@@ -153,6 +153,10 @@ func binOf(edges []float64, v float64) int {
 	return b
 }
 
+// NumAttrs returns how many attributes (tuple cells) the statistics
+// cover — the width every explained tuple must have.
+func (s *Stats) NumAttrs() int { return len(s.Freq) }
+
 // NumBins returns how many discretised bins attribute a has: the domain
 // cardinality for categorical attributes, quartile-bin count for numeric.
 func (s *Stats) NumBins(a int) int { return len(s.Freq[a]) }

@@ -1,0 +1,16 @@
+// Command fakebin is a doc-drift fixture whose flags are all covered
+// by the sibling OPERATIONS.md.
+package main
+
+import (
+	"flag"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	window := flag.Duration("window", 10*time.Millisecond, "batch window")
+	n := flag.Int("n", 500, "tuples")
+	flag.Parse()
+	_, _, _ = addr, window, n
+}

@@ -1,0 +1,15 @@
+// Command driftbin is the deliberately drifted doc fixture: its
+// -undocumented flag is missing from the sibling OPERATIONS.md, and
+// -prose is mentioned only in prose (not backticked), so the gate must
+// flag both.
+package main
+
+import "flag"
+
+func main() {
+	seed := flag.Int64("seed", 1, "rng seed")
+	bad := flag.Bool("undocumented", false, "this flag never made it into the guide")
+	prose := flag.String("prose", "", "mentioned without backticks only")
+	flag.Parse()
+	_, _, _ = seed, bad, prose
+}

@@ -34,6 +34,10 @@ const (
 	StagePreLabel   = "pre-label"
 	StageExplain    = "explain"
 	StageRemine     = "re-mine"
+	// StageWarmFlush is one flush of the warm (serving) variant: a
+	// micro-batch explained against the persistent pool, nesting "mine",
+	// "pool-build", and "explain" children when a re-mine fires.
+	StageWarmFlush = "warm-flush"
 )
 
 // Well-known metric names. The pipeline maintains these; Progress reads
@@ -77,6 +81,26 @@ const (
 	CounterBreakerRejected = "fault_breaker_rejected"
 	CounterDegradedAnswers = "fault_degraded_answers"
 	CounterFailedAnswers   = "fault_failed_answers"
+
+	// Serving-layer metrics, maintained by internal/serve.
+	// CounterServeRequests counts tuples admitted to the queue;
+	// CounterServeStoreHits those answered straight from the warm
+	// explanation store; CounterServeFlushes completed flushes;
+	// CounterServeTimeouts requests whose deadline expired while queued;
+	// CounterServeRejected requests refused at admission (queue full or
+	// server draining). GaugeServeQueueDepth is the current queue depth.
+	// HistServeFlushSize records tuples per flush (unitless, stored as
+	// nanosecond buckets); HistServeWait time spent queued before a flush
+	// picked the request up; HistServeRequest end-to-end request latency.
+	CounterServeRequests  = "serve_requests"
+	CounterServeStoreHits = "serve_store_hits"
+	CounterServeFlushes   = "serve_flushes"
+	CounterServeTimeouts  = "serve_timeouts"
+	CounterServeRejected  = "serve_rejected"
+	GaugeServeQueueDepth  = "serve_queue_depth"
+	HistServeFlushSize    = "serve_flush_size"
+	HistServeWait         = "serve_wait_ns"
+	HistServeRequest      = "serve_request_ns"
 )
 
 // Recorder collects spans, counters, gauges, and histograms from a run

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"shahin/internal/core"
+	"shahin/internal/obs"
+)
+
+// ExplainRequest is the POST /v1/explain body: one raw tuple in the
+// dataset's column order (categorical cells as value indices, numeric
+// cells as values — the same encoding shahin-datagen CSVs use).
+type ExplainRequest struct {
+	Tuple []float64 `json:"tuple"`
+}
+
+// BatchRequest is the POST /v1/explain/batch body.
+type BatchRequest struct {
+	Tuples [][]float64 `json:"tuples"`
+}
+
+// ExplainResponse is the per-tuple answer. Status mirrors
+// core.Explanation.Status ("ok", "degraded", "failed"); Source is
+// "store" for exact-repeat hits answered from the explanation store and
+// "computed" for tuples that went through a flush. WaitMS is the time
+// the request spent in the service, queueing included.
+type ExplainResponse struct {
+	Explanation core.Explanation `json:"explanation"`
+	Status      string           `json:"status"`
+	Source      string           `json:"source"`
+	WaitMS      float64          `json:"wait_ms"`
+}
+
+// BatchResponse is the POST /v1/explain/batch answer: one
+// ExplainResponse per input tuple, in input order.
+type BatchResponse struct {
+	Explanations []ExplainResponse `json:"explanations"`
+	Count        int               `json:"count"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; a batch of a few thousand wide
+// tuples fits comfortably.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/explain        explain one tuple
+//	POST /v1/explain/batch  explain a batch of tuples
+//	GET  /healthz           liveness (200 while the process runs)
+//	GET  /readyz            readiness (503 before start and while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/explain/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+// handleExplain answers POST /v1/explain.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkTuple(req.Tuple); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, code := s.explainOne(r, req.Tuple)
+	writeJSON(w, code, resp)
+}
+
+// handleBatch answers POST /v1/explain/batch. The tuples are admitted
+// individually — so they micro-batch with concurrent requests exactly
+// like singles do — and the response preserves input order. The overall
+// HTTP status is the worst per-tuple status.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty tuple batch"))
+		return
+	}
+	for i, tuple := range req.Tuples {
+		if err := s.checkTuple(tuple); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("tuple %d: %w", i, err))
+			return
+		}
+	}
+	resp := BatchResponse{Explanations: make([]ExplainResponse, len(req.Tuples)), Count: len(req.Tuples)}
+	codes := make([]int, len(req.Tuples))
+	var wg sync.WaitGroup
+	for i, tuple := range req.Tuples {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp.Explanations[i], codes[i] = s.explainOne(r, tuple)
+		}()
+	}
+	wg.Wait()
+	code := http.StatusOK
+	for _, c := range codes {
+		if c > code {
+			code = c
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+// checkTuple validates a request tuple's width against the explainer's
+// schema so malformed requests get 400 instead of a failed flush.
+func (s *Server) checkTuple(tuple []float64) error {
+	if want := s.warm.NumAttrs(); len(tuple) != want {
+		return fmt.Errorf("tuple has %d cells, schema expects %d", len(tuple), want)
+	}
+	return nil
+}
+
+// explainOne runs one tuple through the store fast path or the
+// admission queue and maps the outcome to an HTTP status code.
+func (s *Server) explainOne(r *http.Request, tuple []float64) (ExplainResponse, int) {
+	start := time.Now() //shahinvet:allow walltime — request latency feeds the serving histograms
+	s.rec.Counter(obs.CounterServeRequests).Inc()
+	defer func() {
+		if s.rec != nil {
+			s.rec.Histogram(obs.HistServeRequest).Observe(time.Since(start))
+		}
+	}()
+
+	if exp, ok := s.lookup(tuple); ok {
+		s.rec.Counter(obs.CounterServeStoreHits).Inc()
+		return ExplainResponse{
+			Explanation: exp,
+			Status:      exp.Status.String(),
+			Source:      "store",
+			WaitMS:      msSince(start),
+		}, http.StatusOK
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	req, err := s.admit(ctx, tuple)
+	if err != nil {
+		return ExplainResponse{Status: core.StatusFailed.String(), Source: "rejected", WaitMS: msSince(start)},
+			http.StatusServiceUnavailable
+	}
+	select {
+	case out := <-req.done:
+		if out.err != nil {
+			return ExplainResponse{Status: core.StatusFailed.String(), Source: "computed", WaitMS: msSince(start)},
+				http.StatusGatewayTimeout
+		}
+		code := http.StatusOK
+		if out.exp.Status == core.StatusFailed {
+			code = http.StatusInternalServerError
+		}
+		return ExplainResponse{
+			Explanation: out.exp,
+			Status:      out.exp.Status.String(),
+			Source:      "computed",
+			WaitMS:      msSince(start),
+		}, code
+	case <-ctx.Done():
+		s.rec.Counter(obs.CounterServeTimeouts).Inc()
+		return ExplainResponse{Status: core.StatusFailed.String(), Source: "computed", WaitMS: msSince(start)},
+			http.StatusGatewayTimeout
+	}
+}
+
+// msSince reports elapsed milliseconds for response latency fields.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// decodeBody parses a bounded JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //shahinvet:allow errcheck — the status line is already sent; a broken client pipe has no recovery
+}
+
+// writeError writes a JSON error body with the given status code.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

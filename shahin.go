@@ -128,6 +128,9 @@ type (
 	Batch = core.Batch
 	// Stream is the streaming variant of Shahin.
 	Stream = core.Stream
+	// Warm is the serving variant of Shahin: a long-lived explainer whose
+	// pool persists across ExplainAll flushes (cmd/shahin-serve's engine).
+	Warm = core.Warm
 )
 
 // Per-explainer tuning knobs (the matching fields of Options).
@@ -246,6 +249,14 @@ func NewBatch(st *Stats, cls Classifier, opts Options) (*Batch, error) {
 // request arrives.
 func NewStream(st *Stats, cls Classifier, opts Options) (*Stream, error) {
 	return core.NewStream(st, cls, opts)
+}
+
+// NewWarm creates Shahin's warm serving explainer: call ExplainAll per
+// micro-batch flush; the itemset pool persists across calls and is
+// re-mined after staleAfter explained tuples (<= 0 selects
+// core.DefaultStaleAfter).
+func NewWarm(st *Stats, cls Classifier, opts Options, staleAfter int) (*Warm, error) {
+	return core.NewWarm(st, cls, opts, staleAfter)
 }
 
 // Sequential explains the batch one tuple at a time with no reuse — the
