@@ -78,6 +78,7 @@ func main() {
 		thInv       = flag.Float64("th-invocations", 0, "compare: allowed fractional increase in classifier invocations (0 = counts must not grow)")
 		thWall      = flag.Float64("th-wall", 0.5, "compare: allowed fractional increase in wall time")
 		thReuse     = flag.Float64("th-reuse", 0.001, "compare: allowed absolute drop in reuse ratio")
+		thSLO       = flag.Float64("th-slo", 0.01, "compare: allowed absolute drop in per-objective SLO compliance (gated only when the baseline ledger has SLO data)")
 
 		failRate       = flag.Float64("fail-rate", 0, "fault injection: probability a classifier call fails transiently")
 		spikeRate      = flag.Float64("spike-rate", 0, "fault injection: probability a classifier call stalls for -spike-delay")
@@ -97,7 +98,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "shahin-bench: -compare needs exactly two ledger paths: old.json new.json")
 			os.Exit(bench.CompareMalformed)
 		}
-		th := obs.Thresholds{Invocations: *thInv, Wall: *thWall, Reuse: *thReuse}
+		th := obs.Thresholds{Invocations: *thInv, Wall: *thWall, Reuse: *thReuse, SLO: *thSLO}
 		os.Exit(bench.CompareFiles(os.Stdout, args[0], args[1], th))
 	}
 

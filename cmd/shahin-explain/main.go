@@ -32,6 +32,7 @@ import (
 	"shahin"
 	"shahin/internal/cli"
 	"shahin/internal/datagen"
+	"shahin/internal/obs"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel explanation workers (batch mode, non-Anchor)")
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address during the run (\":0\" picks a port)")
 		traceOut  = flag.String("trace-out", "", "write the JSON span dump to this file when done")
+		tparent   = flag.String("traceparent", "", "W3C traceparent to adopt: the run's root spans join the given trace (e.g. from a calling pipeline)")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) when done")
 		eventsOut = flag.String("events-out", "", "write the structured event log (per-explanation provenance) as JSONL when done")
 
@@ -64,6 +66,13 @@ func main() {
 	// partial print and exits immediately.
 	ctx, stop := cli.Shutdown(context.Background())
 	defer stop()
+	if *tparent != "" {
+		tc, err := obs.ParseTraceparent(*tparent)
+		if err != nil {
+			fatal(fmt.Errorf("-traceparent: %w", err))
+		}
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
 
 	var rec *shahin.Recorder
 	if *obsAddr != "" || *traceOut != "" || *chromeOut != "" || *eventsOut != "" {

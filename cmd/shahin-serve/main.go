@@ -7,6 +7,8 @@
 //	POST /v1/explain/batch  {"tuples": [[..],..]}  many explanations
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (503 while draining)
+//	GET  /slo               SLO objective status (compliance, burn rate)
+//	GET  /requests          slow-request exemplars (?trace=<id> for one)
 //
 // Concurrent requests are gathered for up to -batch-window (or until
 // -batch-max tuples queue) and flushed through the pipeline together,
@@ -34,6 +36,7 @@ import (
 	"shahin"
 	"shahin/internal/cli"
 	"shahin/internal/datagen"
+	"shahin/internal/obs"
 	"shahin/internal/serve"
 )
 
@@ -59,6 +62,11 @@ func main() {
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address (\":0\" picks a port)")
 		eventsOut = flag.String("events-out", "", "write the structured event log as JSONL on shutdown")
 
+		sloWindow    = flag.Duration("slo-window", 5*time.Minute, "rolling window for SLO tracking (0 disables the tracker)")
+		sloLatTarget = flag.Duration("slo-latency-target", 250*time.Millisecond, "latency objective: requests slower than this count against the goal")
+		sloLatGoal   = flag.Float64("slo-latency-goal", 0.99, "latency objective: fraction of requests that must meet -slo-latency-target")
+		sloAvailGoal = flag.Float64("slo-availability-goal", 0.999, "availability objective: fraction of requests that must answer without a 5xx")
+
 		failRate       = flag.Float64("fail-rate", 0, "fault injection: probability a classifier call fails transiently")
 		spikeRate      = flag.Float64("spike-rate", 0, "fault injection: probability a classifier call stalls for -spike-delay")
 		spikeDelay     = flag.Duration("spike-delay", 20*time.Millisecond, "fault injection: stall duration for latency spikes")
@@ -70,9 +78,17 @@ func main() {
 	ctx, stop := cli.Shutdown(context.Background())
 	defer stop()
 
-	var rec *shahin.Recorder
-	if *obsAddr != "" || *eventsOut != "" {
-		rec = shahin.NewRecorder()
+	// The serving stack is always instrumented: request tracing, the
+	// slow-request ring, and SLO tracking need a recorder even when no
+	// observability endpoint is mounted.
+	rec := shahin.NewRecorder()
+	if *sloWindow > 0 {
+		rec.SetSLO(obs.NewSLOTracker(obs.SLOConfig{
+			Window:           *sloWindow,
+			LatencyTarget:    *sloLatTarget,
+			LatencyGoal:      *sloLatGoal,
+			AvailabilityGoal: *sloAvailGoal,
+		}))
 	}
 	if *obsAddr != "" {
 		osrv, err := shahin.ServeMetrics(*obsAddr, rec)

@@ -97,7 +97,9 @@ const (
 
 // CompareFiles diffs the baseline ledger at prevPath against the fresh
 // run at currPath, prints per-metric deltas to w, and returns the
-// process exit code for the verdict.
+// process exit code for the verdict. Alongside the invocation, wall,
+// and reuse thresholds, SLO compliance per objective is gated when the
+// baseline ledger carries SLO data (th.SLO sets the allowed drop).
 func CompareFiles(w io.Writer, prevPath, currPath string, th obs.Thresholds) int {
 	prev, err := ReadLedgerFile(prevPath)
 	if err != nil {
@@ -125,8 +127,8 @@ func CompareFiles(w io.Writer, prevPath, currPath string, th obs.Thresholds) int
 		}
 		t.AddRow(d.Metric, trimFloat(d.Old), trimFloat(d.New), trimFloat(d.Diff), verdict)
 	}
-	t.AddNote("gated metrics: %s (max +%.0f%%), reuse_ratio (max -%.3f), wall_ms (max +%.0f%%)",
-		obs.CounterInvocations, 100*th.Invocations, th.Reuse, 100*th.Wall)
+	t.AddNote("gated metrics: %s (max +%.0f%%), reuse_ratio (max -%.3f), wall_ms (max +%.0f%%), slo compliance (max -%.3f, when the baseline has SLO data)",
+		obs.CounterInvocations, 100*th.Invocations, th.Reuse, 100*th.Wall, th.SLO)
 	t.Fprint(w)
 	if regressed {
 		fmt.Fprintln(w, "verdict: REGRESSION")

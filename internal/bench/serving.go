@@ -55,6 +55,14 @@ func Serving(cfg Config) (*Table, error) {
 		cfg.Recorder = obs.NewRecorder()
 	}
 	rec := cfg.Recorder
+	// SLO tracking over the workload: the window comfortably covers the
+	// whole experiment and the latency target is generous (race-mode CI
+	// runs slowly), so the objectives should be met — the point is that
+	// the tracker fills, exports, and lands in the ledger's gated table.
+	rec.SetSLO(obs.NewSLOTracker(obs.SLOConfig{
+		Window:        time.Minute,
+		LatencyTarget: 2 * time.Second,
+	}))
 	opts := cfg.Options(core.LIME)
 	warm, err := core.NewWarm(env.Stats, env.Classifier(), opts, 0)
 	if err != nil {
@@ -126,6 +134,9 @@ func Serving(cfg Config) (*Table, error) {
 		if results[i].Status != "ok" {
 			return nil, fmt.Errorf("serving: single %d answered %q, want ok", i, results[i].Status)
 		}
+		if err := checkCoverage(fmt.Sprintf("single %d", i), results[i]); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 2: one batch call over fresh tuples.
@@ -136,6 +147,9 @@ func Serving(cfg Config) (*Table, error) {
 	for i, e := range batchResp.Explanations {
 		if e.Status != "ok" {
 			return nil, fmt.Errorf("serving: batch tuple %d answered %q, want ok", i, e.Status)
+		}
+		if err := checkCoverage(fmt.Sprintf("batch tuple %d", i), e); err != nil {
+			return nil, err
 		}
 	}
 
@@ -154,9 +168,67 @@ func Serving(cfg Config) (*Table, error) {
 		if a, b := mustJSON(r.Explanation), mustJSON(results[i%singles].Explanation); a != b {
 			return nil, fmt.Errorf("serving: repeat %d diverged from its original explanation", i)
 		}
+		if err := checkCoverage(fmt.Sprintf("repeat %d", i), r); err != nil {
+			return nil, err
+		}
 	}
 	if storeHits != repeats {
 		return nil, fmt.Errorf("serving: %d of %d repeats hit the store", storeHits, repeats)
+	}
+
+	// Phase 4: trace propagation and the observability endpoints, while
+	// the server is still live. A fixed W3C traceparent must be adopted
+	// (same trace ID, fresh span ID), echoed on the response headers and
+	// body, and resolvable through GET /requests?trace=.
+	const (
+		upTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+		upSpanID  = "00f067aa0ba902b7"
+	)
+	tr, hdr, err := tracedRequest(client, base, tuples[0], "00-"+upTraceID+"-"+upSpanID+"-01")
+	if err != nil {
+		return nil, fmt.Errorf("serving: traced request: %w", err)
+	}
+	if tr.TraceID != upTraceID {
+		return nil, fmt.Errorf("serving: traced request answered trace %q, want %q", tr.TraceID, upTraceID)
+	}
+	if got := hdr.Get("X-Shahin-Trace-Id"); got != upTraceID {
+		return nil, fmt.Errorf("serving: X-Shahin-Trace-Id %q, want %q", got, upTraceID)
+	}
+	echoed, err := obs.ParseTraceparent(hdr.Get("Traceparent"))
+	if err != nil || echoed.TraceID != upTraceID || echoed.SpanID == upSpanID {
+		return nil, fmt.Errorf("serving: echoed traceparent %q does not extend trace %s (err %v)",
+			hdr.Get("Traceparent"), upTraceID, err)
+	}
+	var rt obs.RequestTrace
+	if err := getJSON(client, base+"/requests?trace="+upTraceID, &rt); err != nil {
+		return nil, fmt.Errorf("serving: resolving traced request: %w", err)
+	}
+	if rt.TraceID != upTraceID || rt.ParentID != upSpanID || rt.Root == nil {
+		return nil, fmt.Errorf("serving: /requests?trace returned trace %q parent %q root %v",
+			rt.TraceID, rt.ParentID, rt.Root != nil)
+	}
+	var slo struct {
+		Enabled    bool               `json:"enabled"`
+		WindowMS   float64            `json:"window_ms"`
+		Objectives []obs.SLOObjective `json:"objectives"`
+	}
+	if err := getJSON(client, base+"/slo", &slo); err != nil {
+		return nil, fmt.Errorf("serving: scraping /slo: %w", err)
+	}
+	if !slo.Enabled || len(slo.Objectives) != 2 {
+		return nil, fmt.Errorf("serving: /slo reported enabled=%v with %d objectives, want 2", slo.Enabled, len(slo.Objectives))
+	}
+	for _, o := range slo.Objectives {
+		if o.Total == 0 || o.Compliance < 0 || o.Compliance > 1 {
+			return nil, fmt.Errorf("serving: /slo objective %s malformed: total %d compliance %v", o.Name, o.Total, o.Compliance)
+		}
+	}
+	var reqSum obs.RequestsSummary
+	if err := getJSON(client, base+"/requests", &reqSum); err != nil {
+		return nil, fmt.Errorf("serving: scraping /requests: %w", err)
+	}
+	if reqSum.Capacity == 0 || reqSum.Count == 0 || len(reqSum.Requests) == 0 {
+		return nil, fmt.Errorf("serving: /requests summary empty: capacity %d count %d", reqSum.Capacity, reqSum.Count)
 	}
 
 	// Graceful drain with one more request in flight: fire it, wait
@@ -213,9 +285,73 @@ func Serving(cfg Config) (*Table, error) {
 	t.AddRow("reuse ratio", f3(rep.ReuseRate()))
 	t.AddRow("classifier invocations", fmt.Sprintf("%d", rep.Invocations))
 	t.AddRow("degraded / failed", fmt.Sprintf("%d / %d", rep.Degraded, rep.Failed))
-	t.AddNote("invariants verified: all %d requests answered ok; 0 failed tuples; reuse ratio %.3f > 0; %d/%d repeats store-answered; drain answered the in-flight request",
+	if st, ok := rec.SLOStatus(); ok {
+		for _, o := range st.Objectives {
+			t.AddRow(fmt.Sprintf("slo %s compliance", o.Name), f3(o.Compliance))
+			t.AddRow(fmt.Sprintf("slo %s burn rate", o.Name), f2(o.BurnRate))
+		}
+	}
+	t.AddRow("retained request exemplars", fmt.Sprintf("%d", reqSum.Count))
+	t.AddNote("invariants verified: all %d requests answered ok; 0 failed tuples; reuse ratio %.3f > 0; %d/%d repeats store-answered; drain answered the in-flight request; every response's stage breakdown covers >=90%% of its wait; traceparent adopted, echoed, and resolved via /requests",
 		total, rep.ReuseRate(), storeHits, repeats)
 	return t, nil
+}
+
+// checkCoverage enforces the latency-attribution acceptance bar: every
+// answered request carries its trace identity and a stage breakdown
+// whose sum explains at least 90% of the wall latency the service
+// reported for it.
+func checkCoverage(label string, r serve.ExplainResponse) error {
+	if r.TraceID == "" {
+		return fmt.Errorf("serving: %s: response carries no trace id", label)
+	}
+	if r.Stages == nil {
+		return fmt.Errorf("serving: %s: response carries no stage breakdown", label)
+	}
+	sum := float64(r.Stages.Total()) / float64(time.Millisecond)
+	if sum < 0.9*r.WaitMS {
+		return fmt.Errorf("serving: %s: stage sum %.3fms explains <90%% of wait %.3fms", label, sum, r.WaitMS)
+	}
+	return nil
+}
+
+// tracedRequest posts one explain request carrying the given traceparent
+// header and returns the decoded response plus the response headers.
+func tracedRequest(client *http.Client, base string, tuple []float64, traceparent string) (serve.ExplainResponse, http.Header, error) {
+	var out serve.ExplainResponse
+	b, err := json.Marshal(serve.ExplainRequest{Tuple: tuple})
+	if err != nil {
+		return out, nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/explain", bytes.NewReader(b))
+	if err != nil {
+		return out, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
+	resp, err := client.Do(req)
+	if err != nil {
+		return out, nil, err
+	}
+	defer resp.Body.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+	if resp.StatusCode != http.StatusOK {
+		return out, nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.Header, err
+}
+
+// getJSON fetches one observability endpoint into out.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // mustJSON marshals for byte comparison; explanations always marshal.

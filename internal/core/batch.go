@@ -57,13 +57,20 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 	opts := b.opts
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	rng := rand.New(rand.NewSource(opts.Seed))
-	fb := buildBridge(ctx, opts, b.st, b.cls)
 
 	rec := opts.Recorder
 	root := rec.StartSpan(obs.StageBatch)
 	root.SetAttr("tuples", len(tuples))
 	root.SetAttr("explainer", opts.Explainer.String())
 	defer root.End()
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		c := tc.Child()
+		root.SetTrace(c.TraceID, c.SpanID, tc.SpanID)
+	}
+	// The batch span rides the context so the fault chain (retries,
+	// breaker transitions, degradation rungs) can attach child spans.
+	ctx = obs.ContextWithSpan(ctx, root)
+	fb := buildBridge(ctx, opts, b.st, b.cls)
 	rec.Gauge(obs.GaugeTuplesTotal).Set(int64(len(tuples)))
 
 	// Step 1 (overhead): itemise a uniform sample of the batch and mine
@@ -197,8 +204,12 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 		doneCtr = rec.Counter(obs.CounterTuplesDone)
 	}
 	out := make([]Explanation, len(tuples))
+	var bds []obs.StageBreakdown
+	if rec != nil {
+		bds = make([]obs.StageBreakdown, len(tuples))
+	}
 	if pool != nil && opts.Workers > 1 {
-		if err := explainParallel(ctx, b.st, b.cls, tuples, out, repo.Snapshot(), sets, opts, &rep, fb); err != nil {
+		if err := explainParallel(ctx, b.st, b.cls, tuples, out, bds, repo.Snapshot(), sets, opts, &rep, fb); err != nil {
 			return nil, err
 		}
 		rep.Invocations += poolInv
@@ -219,11 +230,13 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 			var (
 				tupleStart time.Time
 				inv0       int64
+				cls0       time.Duration
 				anchorHits int64
 			)
 			if tupleHist != nil {
 				tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 				inv0 = eng.invocations()
+				cls0 = eng.classifyTime()
 				if sh != nil {
 					anchorHits = sh.Repo.Stats().Hits
 				}
@@ -251,6 +264,12 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 				if exp.Status != StatusOK {
 					ev.Status = exp.Status.String()
 				}
+				bd := tupleBreakdown(dur, eng.classifyTime()-cls0, pool)
+				if bds != nil {
+					bds[i] = bd
+				}
+				rec.ObserveStages(bd)
+				ev.Stages = &bd
 				rec.Emit(ev)
 			}
 			out[i] = exp
@@ -281,7 +300,7 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 		rep.Retries = fb.chain.Stats().Retries
 	}
 	rep.WallTime = time.Since(start)
-	return &Result{Explanations: out, Report: rep}, ctx.Err()
+	return &Result{Explanations: out, Report: rep, Breakdowns: bds}, ctx.Err()
 }
 
 // explainParallel runs the per-tuple phase on opts.Workers goroutines,
@@ -294,7 +313,9 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 // attempted are marked StatusFailed. Shared by the batch and warm
 // (serving) variants, which is why it is a free function over an
 // immutable snapshot rather than a Batch method.
-func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, tuples [][]float64, out []Explanation, snap cache.Snapshot, sets []dataset.Itemset, opts Options, rep *Report, fb *fallibleBridge) error {
+// bds, when non-nil, receives each tuple's latency attribution; the
+// strided index partition keeps writes disjoint across workers.
+func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, tuples [][]float64, out []Explanation, bds []obs.StageBreakdown, snap cache.Snapshot, sets []dataset.Itemset, opts Options, rep *Report, fb *fallibleBridge) error {
 	workers := opts.Workers
 	if workers > len(tuples) {
 		workers = len(tuples)
@@ -337,10 +358,12 @@ func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, 
 				var (
 					tupleStart time.Time
 					inv0       int64
+					cls0       time.Duration
 				)
 				if tupleHist != nil {
 					tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 					inv0 = engines[w].invocations()
+					cls0 = engines[w].classifyTime()
 				}
 				exp, err := engines[w].explain(tuples[i], pools[w], nil)
 				if err != nil {
@@ -362,6 +385,12 @@ func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, 
 					if exp.Status != StatusOK {
 						ev.Status = exp.Status.String()
 					}
+					bd := tupleBreakdown(dur, engines[w].classifyTime()-cls0, pools[w])
+					if bds != nil {
+						bds[i] = bd
+					}
+					rec.ObserveStages(bd)
+					ev.Stages = &bd
 					rec.Emit(ev)
 				}
 				out[i] = exp

@@ -23,6 +23,12 @@ type engine struct {
 	cls  *rf.Counting
 	fb   *fallibleBridge // nil on the infallible fast path
 
+	// classify accumulates in-classifier time via the predict hook.
+	// The counting wrapper sits at the top of the chain, so the hook
+	// fires on the explainer's own goroutine — no lock needed (each
+	// parallel worker owns its engine).
+	classify time.Duration
+
 	lime   *lime.Explainer
 	anchor *anchor.Explainer
 	shap   *shap.Explainer
@@ -48,15 +54,16 @@ func newEngineBridge(opts Options, st *dataset.Stats, cls rf.Classifier, covRows
 		base = fb
 	}
 	counting := rf.NewCounting(base)
+	e := &engine{kind: opts.Explainer, st: st, cls: counting, fb: fb}
 	if rec := opts.Recorder; rec != nil {
 		invocations := rec.Counter(obs.CounterInvocations)
 		latency := rec.Histogram(obs.HistPredict)
 		counting.SetPredictHook(func(d time.Duration) {
 			invocations.Inc()
 			latency.Observe(d)
+			e.classify += d
 		})
 	}
-	e := &engine{kind: opts.Explainer, st: st, cls: counting, fb: fb}
 	switch opts.Explainer {
 	case LIME:
 		e.lime = lime.New(st, counting, opts.LIME, rng)
@@ -105,6 +112,27 @@ func (e *engine) explain(t []float64, pool explain.Pool, sh *anchor.Shared) (Exp
 
 // invocations reports the classifier calls made through this engine.
 func (e *engine) invocations() int64 { return e.cls.Invocations() }
+
+// classifyTime reports cumulative in-classifier time through this
+// engine (0 without a recorder — the predict hook is where timing is
+// measured). Per-tuple deltas feed the classify stage of latency
+// attribution.
+func (e *engine) classifyTime() time.Duration { return e.classify }
+
+// tupleBreakdown attributes one tuple's explanation time across the
+// core stages: pool sampling, classification, and the solver remainder
+// (clamped at zero against rounding between the measurements).
+func tupleBreakdown(dur, classify time.Duration, pool *itemsetPool) obs.StageBreakdown {
+	bd := obs.StageBreakdown{Classify: classify}
+	if pool != nil {
+		bd.PoolSample = pool.tupleRetrieval
+	}
+	bd.Solve = dur - bd.Classify - bd.PoolSample
+	if bd.Solve < 0 {
+		bd.Solve = 0
+	}
+	return bd
+}
 
 // beginTuple resets the bridge's per-tuple outcome flags (no-op on the
 // infallible fast path).

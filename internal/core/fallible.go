@@ -112,7 +112,16 @@ type fallibleBridge struct {
 	tupleDegraded bool
 	tupleFailed   bool
 	tupleCanceled bool
+
+	// degradeSpans counts "degrade" child spans attached to the run's
+	// span so far; capped so a long outage cannot grow the span tree
+	// without bound.
+	degradeSpans int
 }
+
+// maxDegradeSpans bounds per-bridge degradation marker spans: enough to
+// see the ladder working in a trace, bounded against outage storms.
+const maxDegradeSpans = 32
 
 var _ rf.Classifier = (*fallibleBridge)(nil)
 
@@ -185,7 +194,7 @@ func (fb *fallibleBridge) NumClasses() int { return fb.chain.NumClasses() }
 func (fb *fallibleBridge) Predict(x []float64) int {
 	if fb.ctx.Err() != nil {
 		fb.tupleCanceled = true
-		y, _ := fb.fallback(x)
+		y, _, _ := fb.fallback(x)
 		return y
 	}
 	y, err := fb.chain.PredictCtx(fb.ctx, x)
@@ -197,10 +206,10 @@ func (fb *fallibleBridge) Predict(x []float64) int {
 	}
 	if fb.ctx.Err() != nil {
 		fb.tupleCanceled = true
-		fy, _ := fb.fallback(x)
+		fy, _, _ := fb.fallback(x)
 		return fy
 	}
-	fy, ok := fb.fallback(x)
+	fy, rung, ok := fb.fallback(x)
 	if ok {
 		fb.tupleDegraded = true
 		fb.degradedCtr.Inc()
@@ -208,15 +217,39 @@ func (fb *fallibleBridge) Predict(x []float64) int {
 		fb.tupleFailed = true
 		fb.failedCtr.Inc()
 	}
+	fb.noteDegrade(rung)
 	return fy
 }
 
-// fallback walks the degradation ladder; ok is false when no rung could
-// answer (the caller gets class 0 and the tuple is marked failed).
-func (fb *fallibleBridge) fallback(x []float64) (int, bool) {
+// noteDegrade attaches a degradation-rung marker span to the run's span
+// (carried by the bridge's context), bounded by maxDegradeSpans.
+func (fb *fallibleBridge) noteDegrade(rung string) {
+	if fb.degradeSpans >= maxDegradeSpans {
+		return
+	}
+	sp := obs.SpanFromContext(fb.ctx)
+	if sp == nil {
+		return
+	}
+	fb.degradeSpans++
+	c := sp.Child("degrade")
+	if rung == "" {
+		rung = "none"
+	}
+	c.SetAttr("rung", rung)
+	if fb.degradeSpans == maxDegradeSpans {
+		c.SetAttr("truncated", true)
+	}
+	c.End()
+}
+
+// fallback walks the degradation ladder, reporting which rung answered;
+// ok is false when none could (the caller gets class 0 and the tuple is
+// marked failed).
+func (fb *fallibleBridge) fallback(x []float64) (y int, rung string, ok bool) {
 	if fb.labels != nil {
 		if y, ok := fb.labels[hashRow(x)]; ok {
-			return y, true
+			return y, "label-cache", true
 		}
 	}
 	if fb.pooled != nil && fb.st != nil && len(fb.poolSets) > 0 {
@@ -241,7 +274,7 @@ func (fb *fallibleBridge) fallback(x []float64) (int, bool) {
 					best = c
 				}
 			}
-			return best, true
+			return best, "pooled-majority", true
 		}
 	}
 	if fb.majority != nil {
@@ -253,10 +286,10 @@ func (fb *fallibleBridge) fallback(x []float64) (int, bool) {
 			}
 		}
 		if total > 0 {
-			return best, true
+			return best, "global-majority", true
 		}
 	}
-	return 0, false
+	return 0, "", false
 }
 
 // noteSuccess records a successful prediction for later fallback.

@@ -40,9 +40,10 @@ type itemsetPool struct {
 	cursors  map[dataset.ItemsetKey]int    // ForTuple consumption
 	consumed map[dataset.ItemsetKey][]bool // ForItemset consumption
 
-	reused    int64
-	retrieval time.Duration
-	reusedCtr *obs.Counter // live reuse counter; nil (no-op) without a recorder
+	reused         int64
+	retrieval      time.Duration
+	tupleRetrieval time.Duration // retrieval since beginTuple; feeds pool_sample attribution
+	reusedCtr      *obs.Counter  // live reuse counter; nil (no-op) without a recorder
 
 	// Per-tuple provenance, reset by beginTuple: samples served, repo
 	// hits, and the first itemset that served this tuple (the unit the
@@ -73,6 +74,7 @@ func (p *itemsetPool) beginTuple() {
 	clear(p.consumed)
 	p.tupleReused = 0
 	p.tupleHits = 0
+	p.tupleRetrieval = 0
 	p.matched = nil
 }
 
@@ -90,7 +92,11 @@ func (p *itemsetPool) provenance() (pooled, hits int64, matched string) {
 // tuple contains, best itemsets first.
 func (p *itemsetPool) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sample {
 	start := time.Now() //shahinvet:allow walltime — retrieval overhead accounting (Figure 5)
-	defer func() { p.retrieval += time.Since(start) }()
+	defer func() {
+		d := time.Since(start)
+		p.retrieval += d
+		p.tupleRetrieval += d
+	}()
 
 	var out []perturb.Sample
 	for _, f := range p.itemsets {
@@ -127,7 +133,11 @@ func (p *itemsetPool) ForTuple(tupleItems []dataset.Item, max int) []perturb.Sam
 // required items.
 func (p *itemsetPool) ForItemset(required dataset.Itemset, max int) []perturb.Sample {
 	start := time.Now() //shahinvet:allow walltime — retrieval overhead accounting (Figure 5)
-	defer func() { p.retrieval += time.Since(start) }()
+	defer func() {
+		d := time.Since(start)
+		p.retrieval += d
+		p.tupleRetrieval += d
+	}()
 
 	var out []perturb.Sample
 	for _, f := range p.longestView {

@@ -8,6 +8,7 @@ import (
 
 	"shahin/internal/cache"
 	"shahin/internal/explain"
+	"shahin/internal/obs"
 )
 
 // Explanation is the per-tuple output: an attribution for LIME/SHAP or a
@@ -245,4 +246,13 @@ func formatBytes(n int64) string {
 type Result struct {
 	Explanations []Explanation
 	Report       Report
+	// Breakdowns is the per-tuple latency attribution aligned with
+	// Explanations (pool_sample / classify / solve); nil when the run
+	// had no recorder. It lives beside Explanations rather than on them
+	// so explanation JSON stays byte-identical across same-seed runs.
+	Breakdowns []obs.StageBreakdown
+	// Flush is the warm-flush sequence number that produced this result
+	// (0 for plain batch runs); the serving layer stamps it onto request
+	// spans so traces join the shared flush fan-in.
+	Flush int
 }

@@ -143,7 +143,15 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 	if err := ctx.Err(); err != nil {
 		return Explanation{Status: StatusFailed}, err
 	}
-	s.fb.ctx = ctx
+	// Carry the stream root span on the bridge's context so fault-chain
+	// children (degrade markers, retry spans) attach under it, and adopt
+	// the caller's trace identity when one is present (last caller wins —
+	// the root is shared across the stream's lifetime).
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		c := tc.Child()
+		s.root.SetTrace(c.TraceID, c.SpanID, tc.SpanID)
+	}
+	s.fb.ctx = obs.ContextWithSpan(ctx, s.root)
 	defer func() { s.fb.ctx = context.Background() }()
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	defer func() { s.wall += time.Since(start) }()
@@ -211,6 +219,7 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 			anchorHits = s.sh.Repo.Stats().Hits
 		}
 	}
+	cls0 := s.eng.classifyTime()
 	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	exp, err := s.eng.explain(t, pl, s.sh)
 	dur := time.Since(explainStart)
@@ -242,6 +251,13 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 		if exp.Status != StatusOK {
 			ev.Status = exp.Status.String()
 		}
+		var tp *itemsetPool
+		if pl != nil {
+			tp = s.pool
+		}
+		bd := tupleBreakdown(dur, s.eng.classifyTime()-cls0, tp)
+		rec.ObserveStages(bd)
+		ev.Stages = &bd
 		rec.Emit(ev)
 	}
 	s.tuples++

@@ -119,13 +119,20 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	// index, so the same sequence of flush compositions reproduces
 	// byte-identical explanations regardless of wall-clock timing.
 	rng := rand.New(rand.NewSource(opts.Seed + 104729*int64(w.flushes)))
-	fb := buildBridge(ctx, opts, w.st, w.cls)
-	eng := newEngineBridge(opts, w.st, w.cls, w.window, rng, fb)
 	rec := opts.Recorder
 	root := rec.StartSpan(obs.StageWarmFlush)
 	root.SetAttr("tuples", len(tuples))
 	root.SetAttr("flush", w.flushes)
 	defer root.End()
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		c := tc.Child()
+		root.SetTrace(c.TraceID, c.SpanID, tc.SpanID)
+	}
+	// The flush span rides the context so the fault chain (retries,
+	// breaker transitions, degradation rungs) can attach child spans.
+	ctx = obs.ContextWithSpan(ctx, root)
+	fb := buildBridge(ctx, opts, w.st, w.cls)
+	eng := newEngineBridge(opts, w.st, w.cls, w.window, rng, fb)
 
 	// Track the incoming tuples for the next re-mine window.
 	for _, t := range tuples {
@@ -151,14 +158,18 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	explainSpan := root.Child(obs.StageExplain)
 	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	out := make([]Explanation, len(tuples))
+	var bds []obs.StageBreakdown
+	if rec != nil {
+		bds = make([]obs.StageBreakdown, len(tuples))
+	}
 	poolInv := rep.PoolInvocations
 	if w.sh == nil && opts.Workers > 1 {
-		if err := explainParallel(ctx, w.st, w.cls, tuples, out, w.repo.Snapshot(), w.sets, opts, &rep, fb); err != nil {
+		if err := explainParallel(ctx, w.st, w.cls, tuples, out, bds, w.repo.Snapshot(), w.sets, opts, &rep, fb); err != nil {
 			return nil, err
 		}
 		rep.Invocations += poolInv
 	} else {
-		if err := w.explainSerial(ctx, eng, tuples, out, &rep); err != nil {
+		if err := w.explainSerial(ctx, eng, tuples, out, bds, &rep); err != nil {
 			return nil, err
 		}
 	}
@@ -185,12 +196,13 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	}
 	rep.WallTime = time.Since(start)
 	w.accumulate(rep)
-	return &Result{Explanations: out, Report: rep}, ctx.Err()
+	return &Result{Explanations: out, Report: rep, Breakdowns: bds, Flush: w.flushes}, ctx.Err()
 }
 
 // explainSerial runs the per-tuple phase on the caller's goroutine
 // against the live repository (the path Anchor and Workers == 1 take).
-func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float64, out []Explanation, rep *Report) error {
+// bds, when non-nil, receives each tuple's latency attribution.
+func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float64, out []Explanation, bds []obs.StageBreakdown, rep *Report) error {
 	opts := w.opts
 	rec := opts.Recorder
 	var (
@@ -221,11 +233,13 @@ func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float6
 		var (
 			tupleStart time.Time
 			inv0       int64
+			cls0       time.Duration
 			anchorHits int64
 		)
 		if tupleHist != nil {
 			tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 			inv0 = eng.invocations()
+			cls0 = eng.classifyTime()
 			if w.sh != nil {
 				anchorHits = w.sh.Repo.Stats().Hits
 			}
@@ -253,6 +267,12 @@ func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float6
 			if exp.Status != StatusOK {
 				ev.Status = exp.Status.String()
 			}
+			bd := tupleBreakdown(dur, eng.classifyTime()-cls0, pool)
+			if bds != nil {
+				bds[i] = bd
+			}
+			rec.ObserveStages(bd)
+			ev.Stages = &bd
 			rec.Emit(ev)
 		}
 		out[i] = exp

@@ -113,7 +113,7 @@ func (b *Breaker) PredictCtx(ctx context.Context, x []float64) (int, error) {
 			b.rejectedCtr.Inc()
 			return 0, ErrBreakerOpen
 		}
-		b.transition(BreakerHalfOpen)
+		b.transition(ctx, BreakerHalfOpen)
 	}
 	b.mu.Unlock()
 
@@ -127,37 +127,45 @@ func (b *Breaker) PredictCtx(ctx context.Context, x []float64) (int, error) {
 		}
 		b.fails++
 		if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.threshold) {
-			b.open()
+			b.open(ctx)
 		}
 		return 0, err
 	}
 	b.fails = 0
 	if b.state == BreakerHalfOpen {
-		b.transition(BreakerClosed)
+		b.transition(ctx, BreakerClosed)
 	}
 	return y, nil
 }
 
 // open moves to BreakerOpen, arming both cooldown clocks. Caller holds mu.
-func (b *Breaker) open() {
+func (b *Breaker) open(ctx context.Context) {
 	b.rejected = 0
 	if b.cooldown > 0 {
 		b.reopenAt = time.Now().Add(b.cooldown) //shahinvet:allow walltime — breaker cooldown clock (timing-only, never affects labels)
 	}
 	b.opens.Add(1)
 	b.opensCtr.Inc()
-	b.transition(BreakerOpen)
+	b.transition(ctx, BreakerOpen)
 }
 
-// transition records a state change and emits the breaker_state event.
-// Caller holds mu; the recorder has its own lock, so emitting under mu
-// is deadlock-free.
-func (b *Breaker) transition(to BreakerState) {
+// transition records a state change: it emits the breaker_state event
+// and, when the triggering call's context carries a span, attaches a
+// "breaker" marker child naming the state edge. Caller holds mu; the
+// recorder and spans have their own locks (taken parent-before-child,
+// never back into mu), so both are deadlock-free under mu.
+func (b *Breaker) transition(ctx context.Context, to BreakerState) {
 	from := b.state
 	b.state = to
+	edge := from.String() + "->" + to.String()
 	b.rec.Emit(obs.Event{
 		Type:  obs.EventBreakerState,
 		Tuple: -1,
-		State: from.String() + "->" + to.String(),
+		State: edge,
 	})
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		c := sp.Child("breaker")
+		c.SetAttr("state", edge)
+		c.End()
+	}
 }

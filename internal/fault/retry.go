@@ -21,9 +21,14 @@ type retrier struct {
 	seed    int64
 	calls   atomicInt64
 	retries atomicInt64
+	spanned atomicInt64 // "retry" marker spans attached so far
 
 	retriesCtr *obs.Counter
 }
+
+// maxRetrySpans bounds per-retrier "retry" marker spans: enough to see
+// the backoff schedule in a trace, bounded against outage storms.
+const maxRetrySpans = 64
 
 func newRetrier(inner FallibleClassifier, cfg Config, rec *obs.Recorder) *retrier {
 	r := &retrier{
@@ -51,10 +56,15 @@ func newRetrier(inner FallibleClassifier, cfg Config, rec *obs.Recorder) *retrie
 func (r *retrier) NumClasses() int { return r.inner.NumClasses() }
 
 // PredictCtx implements FallibleClassifier with up to max retries of
-// transient failures. Backoff sleeps respect the caller's context.
+// transient failures. Backoff sleeps respect the caller's context. When
+// the caller's context carries a span, each retry attaches a bounded
+// "retry" marker child covering the backoff window before the reattempt.
 func (r *retrier) PredictCtx(ctx context.Context, x []float64) (int, error) {
 	call := r.calls.Add(1) - 1
+	var retrySpan *obs.Span
 	for attempt := 0; ; attempt++ {
+		retrySpan.End() // close the previous backoff window (nil-safe)
+		retrySpan = nil
 		y, err := r.inner.PredictCtx(ctx, x)
 		if err == nil {
 			return y, nil
@@ -67,16 +77,39 @@ func (r *retrier) PredictCtx(ctx context.Context, x []float64) (int, error) {
 		}
 		r.retries.Add(1)
 		r.retriesCtr.Inc()
+		retrySpan = r.noteRetry(ctx, attempt)
 		if d := r.backoff(call, attempt); d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				t.Stop()
+				retrySpan.End()
 				return 0, ctx.Err()
 			case <-t.C:
 			}
 		}
 	}
+}
+
+// noteRetry attaches a "retry" marker child to the span carried by ctx
+// (nil without one), bounded by maxRetrySpans across the retrier's
+// lifetime. The caller ends the returned span once the backoff window
+// closes.
+func (r *retrier) noteRetry(ctx context.Context, attempt int) *obs.Span {
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return nil
+	}
+	n := r.spanned.Add(1)
+	if n > maxRetrySpans {
+		return nil
+	}
+	c := sp.Child("retry")
+	c.SetAttr("attempt", attempt+1)
+	if n == maxRetrySpans {
+		c.SetAttr("truncated", true)
+	}
+	return c
 }
 
 // backoff returns the delay before retry number attempt+1: capped

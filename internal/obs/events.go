@@ -67,6 +67,9 @@ type Event struct {
 	// Status marks a tuple_explained event whose tuple was answered
 	// degraded (pooled/cached labels) or failed; empty means ok.
 	Status string `json:"status,omitempty"`
+	// Stages is the per-tuple latency attribution stamped onto
+	// tuple_explained events when a recorder is measuring stages.
+	Stages *StageBreakdown `json:"stages,omitempty"`
 }
 
 // DefaultEventCapacity bounds the event log unless SetEventCapacity

@@ -18,6 +18,8 @@ import (
 //	/trace     the span dump (same shape as -trace-out;
 //	           ?format=chrome emits Chrome trace-event JSON for Perfetto)
 //	/events    the structured event log as JSONL (same shape as -events-out)
+//	/slo       rolling-window SLO status (latency/availability, burn rates)
+//	/requests  slow-request exemplar ring (?trace=<id> for one full span dump)
 //	/debug/pprof/  the standard Go profiling endpoints
 //
 // Use Serve with addr ":0" to pick a free port; Addr reports the bound
@@ -43,7 +45,7 @@ func Serve(addr string, rec *Recorder) (*Server, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "shahin observability\n\n/metrics (?format=prom)\n/progress\n/trace (?format=chrome)\n/events\n/debug/pprof/\n")
+		fmt.Fprint(w, "shahin observability\n\n/metrics (?format=prom)\n/progress\n/trace (?format=chrome)\n/events\n/slo\n/requests (?trace=<id>)\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "prom" {
@@ -76,6 +78,8 @@ func Serve(addr string, rec *Recorder) (*Server, error) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/slo", SLOHandler(rec))
+	mux.HandleFunc("/requests", RequestsHandler(rec))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -113,4 +117,50 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// sloResponse is the /slo body: Enabled reports whether a tracker is
+// attached, and the status fields inline when it is.
+type sloResponse struct {
+	Enabled bool `json:"enabled"`
+	SLOStatus
+}
+
+// SLOHandler serves the rolling-window SLO status of rec's attached
+// tracker as JSON ({"enabled": false} when no tracker — or no recorder
+// — is attached). Shared by the obs debug server and the serving API.
+func SLOHandler(rec *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		st, ok := rec.SLOStatus()
+		writeJSON(w, sloResponse{Enabled: ok, SLOStatus: st})
+	}
+}
+
+// RequestsHandler serves the slow-request exemplar ring: without
+// parameters, the slowest-first listing (span dumps stripped); with
+// ?trace=<id>, the full span dump of one request, or 404 when the trace
+// ID is not retained. Shared by the obs debug server and the serving
+// API.
+func RequestsHandler(rec *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if traceID := req.URL.Query().Get("trace"); traceID != "" {
+			rt, ok := rec.RequestByTrace(traceID)
+			if !ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusNotFound)
+				writeJSONBody(w, map[string]string{"error": "trace id not retained: " + traceID})
+				return
+			}
+			writeJSON(w, rt)
+			return
+		}
+		writeJSON(w, rec.RequestsSummary())
+	}
+}
+
+// writeJSONBody encodes v after the status line has been written.
+func writeJSONBody(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //shahinvet:allow errcheck — the status line is already sent; a broken client pipe has no recovery
 }

@@ -11,8 +11,8 @@ import (
 )
 
 // LedgerSchemaVersion stamps every ledger so future readers can detect
-// old artifacts.
-const LedgerSchemaVersion = 1
+// old artifacts. Version 2 added the SLO table; readers accept 1..2.
+const LedgerSchemaVersion = 2
 
 // EnvFingerprint pins the environment a ledger was produced on, so a
 // regression diff can tell an algorithmic change from a hardware or
@@ -68,7 +68,11 @@ type RunLedger struct {
 	Metrics       Metrics            `json:"metrics"`
 	StageTotalsMS map[string]float64 `json:"stage_totals_ms"`
 	Tables        []any              `json:"tables,omitempty"`
-	EventsDropped int64              `json:"events_dropped"`
+	// SLO is the rolling-window objective evaluation at ledger time,
+	// present when the run's recorder had an SLO tracker attached
+	// (schema ≥ 2). CompareLedgers gates on per-objective compliance.
+	SLO           *SLOStatus `json:"slo,omitempty"`
+	EventsDropped int64      `json:"events_dropped"`
 }
 
 // Ledger snapshots the recorder into a new RunLedger: environment
@@ -90,6 +94,9 @@ func (r *Recorder) Ledger(name string) *RunLedger {
 	l.WallMS = r.sinceStartMS()
 	for stage, d := range r.StageTotals() {
 		l.StageTotalsMS[stage] = float64(d) / float64(time.Millisecond)
+	}
+	if st, ok := r.SLOStatus(); ok {
+		l.SLO = &st
 	}
 	l.EventsDropped = r.EventsDropped()
 	return l
@@ -135,11 +142,15 @@ func ReadLedger(rd io.Reader) (*RunLedger, error) {
 // Thresholds configures when a ledger diff counts as a regression.
 // Invocations and Wall are allowed fractional increases (0 means any
 // increase regresses — right for deterministic invocation counts);
-// Reuse is the allowed absolute drop in the reuse ratio.
+// Reuse is the allowed absolute drop in the reuse ratio; SLO the
+// allowed absolute drop in per-objective SLO compliance (gated only
+// when the baseline ledger carries an SLO table, so schema-1 baselines
+// keep comparing cleanly).
 type Thresholds struct {
 	Invocations float64
 	Wall        float64
 	Reuse       float64
+	SLO         float64
 }
 
 // Delta is one row of a ledger diff.
@@ -204,7 +215,37 @@ func CompareLedgers(prev, curr *RunLedger, th Thresholds) ([]Delta, bool) {
 	regressed = regressed || wall.Regressed
 	deltas = append(deltas, wall)
 
+	if prev.SLO != nil {
+		currObjs := sloByName(curr.SLO)
+		for _, old := range prev.SLO.Objectives {
+			d := Delta{Metric: "slo_compliance_" + old.Name, Old: old.Compliance, Gated: true}
+			if now, ok := currObjs[old.Name]; ok {
+				d.New = now.Compliance
+				d.Regressed = d.Old-d.New > th.SLO
+			} else {
+				// The fresh run dropped an objective the baseline
+				// tracked — that is a regression, not a skip.
+				d.Regressed = true
+			}
+			d.Diff = d.New - d.Old
+			regressed = regressed || d.Regressed
+			deltas = append(deltas, d)
+		}
+	}
+
 	return deltas, regressed
+}
+
+// sloByName indexes a status's objectives (empty map on nil).
+func sloByName(st *SLOStatus) map[string]SLOObjective {
+	out := map[string]SLOObjective{}
+	if st == nil {
+		return out
+	}
+	for _, o := range st.Objectives {
+		out[o.Name] = o
+	}
+	return out
 }
 
 // exceedsFraction reports whether curr exceeds prev by more than the

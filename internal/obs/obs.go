@@ -107,14 +107,16 @@ const (
 // (or several runs — counters accumulate). All methods are safe for
 // concurrent use and safe on a nil receiver.
 type Recorder struct {
-	start  time.Time
-	events *eventLog
+	start    time.Time
+	events   *eventLog
+	requests *requestRing
 
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    []*Span
+	slo      *SLOTracker
 }
 
 // NewRecorder returns an empty recorder; its uptime clock starts now.
@@ -122,6 +124,7 @@ func NewRecorder() *Recorder {
 	return &Recorder{
 		start:    time.Now(),
 		events:   &eventLog{cap: DefaultEventCapacity},
+		requests: newRequestRing(0),
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),

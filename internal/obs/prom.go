@@ -57,9 +57,53 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if st, ok := r.SLOStatus(); ok {
+		if err := writePromSLO(w, st); err != nil {
+			return err
+		}
+	}
+
 	pn := "shahin_uptime_ms"
 	_, err := fmt.Fprintf(w, "# HELP %s Milliseconds since the recorder started.\n# TYPE %s gauge\n%s %s\n",
 		pn, pn, pn, formatPromFloat(m.UptimeMS))
+	return err
+}
+
+// writePromSLO renders the SLO tracker's rolling-window evaluation:
+// per-objective compliance, burn rate, and met flag, labelled by
+// objective name, plus the window length.
+func writePromSLO(w io.Writer, st SLOStatus) error {
+	series := []struct {
+		name string
+		help string
+		get  func(o SLOObjective) float64
+	}{
+		{"slo_compliance", "Good-event fraction over the rolling SLO window.",
+			func(o SLOObjective) float64 { return o.Compliance }},
+		{"slo_burn_rate", "Error-budget burn rate over the rolling SLO window (1.0 = burning exactly at budget).",
+			func(o SLOObjective) float64 { return o.BurnRate }},
+		{"slo_met", "Whether the objective currently meets its goal (1) or not (0).",
+			func(o SLOObjective) float64 {
+				if o.Met {
+					return 1
+				}
+				return 0
+			}},
+	}
+	for _, s := range series {
+		pn := "shahin_" + s.name
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", pn, s.help, pn); err != nil {
+			return err
+		}
+		for _, o := range st.Objectives {
+			if _, err := fmt.Fprintf(w, "%s{objective=%q} %s\n", pn, o.Name, formatPromFloat(s.get(o))); err != nil {
+				return err
+			}
+		}
+	}
+	pn := "shahin_slo_window_ms"
+	_, err := fmt.Fprintf(w, "# HELP %s Rolling SLO window length in milliseconds.\n# TYPE %s gauge\n%s %s\n",
+		pn, pn, pn, formatPromFloat(st.WindowMS))
 	return err
 }
 

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultRequestCapacity bounds the slow-request exemplar ring: the
+// ring keeps the top-K served requests by duration, so a long-lived
+// server holds at most this many request span trees.
+const DefaultRequestCapacity = 512
+
+// RequestTrace is one served request's exemplar: trace identity,
+// outcome, stage attribution, and the full root span dump.
+type RequestTrace struct {
+	// TraceID keys the exemplar; /requests?trace=<id> resolves it.
+	TraceID string `json:"trace_id"`
+	// SpanID is the server-side root span's ID within the trace.
+	SpanID string `json:"span_id,omitempty"`
+	// ParentID is the remote caller's span ID when the request carried
+	// a traceparent header.
+	ParentID string `json:"parent_span_id,omitempty"`
+	// Name labels the root span ("request").
+	Name string `json:"name"`
+	// Source mirrors the HTTP response: "store", "computed", or
+	// "rejected".
+	Source string `json:"source,omitempty"`
+	// Status is the explanation status ("ok", "degraded", "failed").
+	Status string `json:"status,omitempty"`
+	// Flush is the warm-flush sequence number that served the request
+	// (0 for store hits); it joins the request to the shared flush span
+	// in the recorder's trace.
+	Flush int `json:"flush,omitempty"`
+	// DurMS is the request's wall latency in milliseconds.
+	DurMS float64 `json:"dur_ms"`
+	// Stages is the request's latency attribution.
+	Stages StageBreakdown `json:"stages"`
+	// Root is the request's full span dump (omitted in ring listings).
+	Root *SpanDump `json:"root,omitempty"`
+}
+
+// requestRing keeps the top-K slowest requests seen so far, retrievable
+// by trace ID. When two entries share a trace ID (a batch call fans one
+// trace into several per-tuple requests) the slowest wins.
+type requestRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []RequestTrace
+	byID    map[string]int // trace ID -> index in entries
+}
+
+// newRequestRing builds a ring holding at most capacity entries
+// (DefaultRequestCapacity when capacity <= 0).
+func newRequestRing(capacity int) *requestRing {
+	if capacity <= 0 {
+		capacity = DefaultRequestCapacity
+	}
+	return &requestRing{cap: capacity, byID: make(map[string]int)}
+}
+
+// offer inserts rt if it ranks among the top-K by duration. The scan
+// for the current minimum is O(cap); with the default capacity that is
+// a few hundred comparisons per served request, well below the cost of
+// the request itself.
+func (g *requestRing) offer(rt RequestTrace) {
+	if g == nil || rt.TraceID == "" {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i, ok := g.byID[rt.TraceID]; ok {
+		if rt.DurMS >= g.entries[i].DurMS {
+			g.entries[i] = rt
+		}
+		return
+	}
+	if len(g.entries) < g.cap {
+		g.byID[rt.TraceID] = len(g.entries)
+		g.entries = append(g.entries, rt)
+		return
+	}
+	min := 0
+	for i := 1; i < len(g.entries); i++ {
+		if g.entries[i].DurMS < g.entries[min].DurMS {
+			min = i
+		}
+	}
+	if rt.DurMS <= g.entries[min].DurMS {
+		return
+	}
+	delete(g.byID, g.entries[min].TraceID)
+	g.entries[min] = rt
+	g.byID[rt.TraceID] = min
+}
+
+// byTrace returns the entry for a trace ID.
+func (g *requestRing) byTrace(traceID string) (RequestTrace, bool) {
+	if g == nil {
+		return RequestTrace{}, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i, ok := g.byID[traceID]; ok {
+		return g.entries[i], true
+	}
+	return RequestTrace{}, false
+}
+
+// snapshot returns the ring's entries sorted slowest-first. When
+// withRoots is false the span dumps are stripped, keeping listings
+// light.
+func (g *requestRing) snapshot(withRoots bool) []RequestTrace {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	out := make([]RequestTrace, len(g.entries))
+	copy(out, g.entries)
+	g.mu.Unlock()
+	if !withRoots {
+		for i := range out {
+			out[i].Root = nil
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].DurMS > out[j].DurMS })
+	return out
+}
+
+// OfferRequest submits a served request to the slow-request exemplar
+// ring; it is kept if it ranks among the top-K by latency. Nil-safe.
+func (r *Recorder) OfferRequest(rt RequestTrace) {
+	if r == nil {
+		return
+	}
+	r.requests.offer(rt)
+}
+
+// RequestByTrace resolves a trace ID to its ring entry, full span dump
+// included. Nil-safe.
+func (r *Recorder) RequestByTrace(traceID string) (RequestTrace, bool) {
+	if r == nil {
+		return RequestTrace{}, false
+	}
+	return r.requests.byTrace(traceID)
+}
+
+// Requests lists the ring's exemplars slowest-first, span dumps
+// included. Nil-safe.
+func (r *Recorder) Requests() []RequestTrace {
+	if r == nil {
+		return nil
+	}
+	return r.requests.snapshot(true)
+}
+
+// RequestsSummary is the /requests listing: ring occupancy plus the
+// exemplars slowest-first, span dumps stripped (resolve an individual
+// trace ID for the full dump).
+type RequestsSummary struct {
+	// Capacity is the ring's bound.
+	Capacity int `json:"capacity"`
+	// Count is the current number of exemplars.
+	Count int `json:"count"`
+	// Requests holds the exemplars, slowest first, without Root.
+	Requests []RequestTrace `json:"requests"`
+}
+
+// RequestsSummary snapshots the ring for the /requests listing.
+// Nil-safe.
+func (r *Recorder) RequestsSummary() RequestsSummary {
+	if r == nil {
+		return RequestsSummary{Requests: []RequestTrace{}}
+	}
+	entries := r.requests.snapshot(false)
+	if entries == nil {
+		entries = []RequestTrace{}
+	}
+	return RequestsSummary{Capacity: r.requests.cap, Count: len(entries), Requests: entries}
+}

@@ -20,6 +20,9 @@ type Span struct {
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
+	traceID  string // distributed-trace identity; children inherit traceID
+	spanID   string
+	parentID string // span ID of the remote parent that sent the traceparent
 	attrs    map[string]any
 	children []*Span
 }
@@ -37,16 +40,67 @@ func (r *Recorder) StartSpan(name string) *Span {
 	return s
 }
 
-// Child opens a nested span under s. Nil-safe.
+// StartDetachedSpan opens a root span that is NOT added to the
+// recorder's trace forest. Request-scoped roots use this: a long-lived
+// server would otherwise accumulate one span per request forever, so
+// request roots instead go to the bounded exemplar ring after End.
+// Returns nil on a nil receiver.
+func (r *Recorder) StartDetachedSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), epoch: r.start}
+}
+
+// Child opens a nested span under s, inheriting the trace ID. Nil-safe.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := &Span{name: name, start: time.Now(), epoch: s.epoch}
 	s.mu.Lock()
+	c.traceID = s.traceID
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// AddChild attaches an already-measured child span: the serving layer
+// synthesises one child per attributed stage (queue wait, batch
+// assembly, …) onto a request's root after the flush reports its
+// breakdown. The child is created ended, with the given start and
+// duration. Nil-safe; returns the child.
+func (s *Span) AddChild(name string, start time.Time, dur time.Duration, attrs map[string]any) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: start, epoch: s.epoch, dur: dur, ended: true}
+	if len(attrs) > 0 {
+		c.attrs = make(map[string]any, len(attrs))
+		for k, v := range attrs {
+			c.attrs[k] = v
+		}
+	}
+	s.mu.Lock()
+	c.traceID = s.traceID
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetTrace stamps the span with its distributed-trace identity: the
+// trace it belongs to, its own span ID, and (optionally) the span ID of
+// the remote parent that carried the incoming traceparent. Children
+// created afterwards inherit the trace ID. Nil-safe.
+func (s *Span) SetTrace(traceID, spanID, parentID string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.traceID = traceID
+	s.spanID = spanID
+	s.parentID = parentID
+	s.mu.Unlock()
 }
 
 // End closes the span (idempotent) and returns its duration.
@@ -95,6 +149,9 @@ func (s *Span) SetAttr(key string, value any) {
 // milliseconds; StartMS is relative to the recorder's start.
 type SpanDump struct {
 	Name     string         `json:"name"`
+	TraceID  string         `json:"trace_id,omitempty"`
+	SpanID   string         `json:"span_id,omitempty"`
+	ParentID string         `json:"parent_span_id,omitempty"`
 	StartMS  float64        `json:"start_ms"`
 	DurMS    float64        `json:"dur_ms"`
 	InFlight bool           `json:"in_flight,omitempty"`
@@ -102,13 +159,25 @@ type SpanDump struct {
 	Children []*SpanDump    `json:"children,omitempty"`
 }
 
+// Dump snapshots the span subtree (nil on a nil receiver). Safe to call
+// on a live span; open descendants are marked in-flight.
+func (s *Span) Dump() *SpanDump {
+	if s == nil {
+		return nil
+	}
+	return s.dump()
+}
+
 // dump snapshots the span subtree. Lock order is strictly parent before
 // child, so recursion cannot deadlock.
 func (s *Span) dump() *SpanDump {
 	s.mu.Lock()
 	d := &SpanDump{
-		Name:    s.name,
-		StartMS: float64(s.start.Sub(s.epoch)) / float64(time.Millisecond),
+		Name:     s.name,
+		TraceID:  s.traceID,
+		SpanID:   s.spanID,
+		ParentID: s.parentID,
+		StartMS:  float64(s.start.Sub(s.epoch)) / float64(time.Millisecond),
 	}
 	dur := s.dur
 	if !s.ended {

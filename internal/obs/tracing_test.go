@@ -1,0 +1,486 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", tp, err)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tc.SpanID != "00f067aa0ba902b7" || tc.Flags != 1 {
+		t.Fatalf("parsed %+v", tc)
+	}
+	if got := tc.Traceparent(); got != tp {
+		t.Fatalf("Traceparent() = %q, want %q", got, tp)
+	}
+
+	// Uppercase hex is normalised to lowercase.
+	up, err := ParseTraceparent("00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01")
+	if err != nil || up.TraceID != tc.TraceID || up.SpanID != tc.SpanID {
+		t.Fatalf("uppercase parse: %+v, %v", up, err)
+	}
+
+	// A future version with extra fields still parses (forward compat).
+	if _, err := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+
+	bad := []string{
+		"",
+		"00-short-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // all-zero span
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", // bad flags
+		"00-xyz92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestTraceContextChild(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("NewTraceContext invalid: %+v", tc)
+	}
+	c := tc.Child()
+	if c.TraceID != tc.TraceID {
+		t.Fatalf("child changed trace ID: %q vs %q", c.TraceID, tc.TraceID)
+	}
+	if c.SpanID == tc.SpanID || !c.Valid() {
+		t.Fatalf("child span ID not fresh: %+v", c)
+	}
+	if strings.Count(tc.Traceparent(), "-") != 3 {
+		t.Fatalf("malformed traceparent %q", tc.Traceparent())
+	}
+}
+
+func TestTraceContextOnContext(t *testing.T) {
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(t.Context(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFromContext = %+v, %v", got, ok)
+	}
+	if _, ok := TraceFromContext(t.Context()); ok {
+		t.Fatal("bare context reported a trace")
+	}
+}
+
+// fakeClock is a deterministic SLO clock the test advances by hand.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestSLOTracker(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	tr := NewSLOTracker(SLOConfig{
+		Window:           time.Minute,
+		Buckets:          6,
+		LatencyTarget:    100 * time.Millisecond,
+		LatencyGoal:      0.9,
+		AvailabilityGoal: 0.95,
+		Clock:            clk.Now,
+	})
+
+	// Empty window: full compliance, objectives met, zero burn.
+	st := tr.Status()
+	if len(st.Objectives) != 2 {
+		t.Fatalf("objectives: %+v", st.Objectives)
+	}
+	for _, o := range st.Objectives {
+		if o.Compliance != 1 || !o.Met || o.BurnRate != 0 {
+			t.Fatalf("empty-window objective %+v", o)
+		}
+	}
+
+	// 10 requests: 2 slow, 1 failed.
+	for i := 0; i < 8; i++ {
+		tr.Record(10*time.Millisecond, true)
+	}
+	tr.Record(200*time.Millisecond, true)
+	tr.Record(300*time.Millisecond, false)
+	st = tr.Status()
+	lat, avail := st.Objectives[0], st.Objectives[1]
+	if lat.Name != SLOLatency || lat.Total != 10 || lat.Bad != 2 {
+		t.Fatalf("latency objective %+v", lat)
+	}
+	if lat.Compliance != 0.8 || lat.Met {
+		t.Fatalf("latency compliance %+v", lat)
+	}
+	// burn = badFrac / (1-goal) = 0.2 / 0.1 = 2.
+	if lat.BurnRate < 1.99 || lat.BurnRate > 2.01 {
+		t.Fatalf("latency burn rate %v", lat.BurnRate)
+	}
+	if avail.Name != SLOAvailability || avail.Bad != 1 || avail.Compliance != 0.9 || avail.Met {
+		t.Fatalf("availability objective %+v", avail)
+	}
+
+	// Half a window later the samples still count ...
+	clk.Advance(30 * time.Second)
+	if st := tr.Status(); st.Objectives[0].Total != 10 {
+		t.Fatalf("mid-window total %d", st.Objectives[0].Total)
+	}
+	// ... and a fresh sample lands in a new bucket.
+	tr.Record(10*time.Millisecond, true)
+	if st := tr.Status(); st.Objectives[0].Total != 11 {
+		t.Fatalf("post-advance total %d", st.Objectives[0].Total)
+	}
+
+	// Past the full window everything ages out.
+	clk.Advance(2 * time.Minute)
+	st = tr.Status()
+	if st.Objectives[0].Total != 0 || st.Objectives[0].Compliance != 1 || !st.Objectives[0].Met {
+		t.Fatalf("aged-out objective %+v", st.Objectives[0])
+	}
+
+	// Bucket slots are recycled in place, not leaked: record again and
+	// the window only sees the new data.
+	tr.Record(10*time.Millisecond, true)
+	if st := tr.Status(); st.Objectives[0].Total != 1 {
+		t.Fatalf("recycled-slot total %d", st.Objectives[0].Total)
+	}
+}
+
+func TestRecorderSLO(t *testing.T) {
+	rec := NewRecorder()
+	if _, ok := rec.SLOStatus(); ok {
+		t.Fatal("recorder without tracker reported SLO status")
+	}
+	rec.RecordSLO(time.Millisecond, true) // no tracker: must not panic
+	rec.SetSLO(NewSLOTracker(SLOConfig{Window: time.Minute}))
+	rec.RecordSLO(time.Millisecond, true)
+	rec.RecordSLO(time.Second, false)
+	st, ok := rec.SLOStatus()
+	if !ok || st.Objectives[1].Bad != 1 || st.Objectives[0].Total != 2 {
+		t.Fatalf("recorder SLO status %+v ok=%v", st, ok)
+	}
+
+	var nilRec *Recorder
+	nilRec.RecordSLO(time.Millisecond, true)
+	nilRec.SetSLO(nil)
+	if _, ok := nilRec.SLOStatus(); ok {
+		t.Fatal("nil recorder reported SLO status")
+	}
+}
+
+func TestRequestRingTopK(t *testing.T) {
+	ring := newRequestRing(3)
+	for i, ms := range []float64{5, 1, 9, 3, 7} {
+		ring.offer(RequestTrace{TraceID: strings.Repeat("a", 31) + string(rune('0'+i)), DurMS: ms})
+	}
+	snap := ring.snapshot(false)
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(snap))
+	}
+	// Slowest-first, the three slowest of {5,1,9,3,7}.
+	if snap[0].DurMS != 9 || snap[1].DurMS != 7 || snap[2].DurMS != 5 {
+		t.Fatalf("ring kept %v %v %v", snap[0].DurMS, snap[1].DurMS, snap[2].DurMS)
+	}
+}
+
+func TestRequestRingDuplicateTrace(t *testing.T) {
+	ring := newRequestRing(4)
+	id := strings.Repeat("b", 32)
+	ring.offer(RequestTrace{TraceID: id, DurMS: 2, Source: "store"})
+	ring.offer(RequestTrace{TraceID: id, DurMS: 8, Source: "computed"})
+	ring.offer(RequestTrace{TraceID: id, DurMS: 1, Source: "store"})
+	got, ok := ring.byTrace(id)
+	if !ok || got.DurMS != 8 || got.Source != "computed" {
+		t.Fatalf("duplicate trace kept %+v ok=%v", got, ok)
+	}
+	if snap := ring.snapshot(false); len(snap) != 1 {
+		t.Fatalf("duplicates occupy %d slots", len(snap))
+	}
+}
+
+func TestRecorderRequests(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartDetachedSpan("request")
+	root.SetTrace(strings.Repeat("c", 32), strings.Repeat("1", 16), "")
+	root.Child("queue_wait").End()
+	root.End()
+	rec.OfferRequest(RequestTrace{
+		TraceID: strings.Repeat("c", 32), SpanID: strings.Repeat("1", 16),
+		Name: "request", Source: "computed", DurMS: 4, Root: root.Dump(),
+	})
+
+	sum := rec.RequestsSummary()
+	if sum.Count != 1 || sum.Capacity != DefaultRequestCapacity || len(sum.Requests) != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.Requests[0].Root != nil {
+		t.Fatal("summary kept span dumps; they belong only to the full view")
+	}
+	full := rec.Requests()
+	if len(full) != 1 || full[0].Root == nil || len(full[0].Root.Children) != 1 {
+		t.Fatalf("full view %+v", full)
+	}
+	if _, ok := rec.RequestByTrace(strings.Repeat("c", 32)); !ok {
+		t.Fatal("RequestByTrace missed a retained trace")
+	}
+	if _, ok := rec.RequestByTrace("missing"); ok {
+		t.Fatal("RequestByTrace resolved an unknown trace")
+	}
+
+	// Detached roots must not leak into the recorder's span forest.
+	for _, d := range rec.Trace() {
+		if d.Name == "request" {
+			t.Fatal("detached request root landed in the trace forest")
+		}
+	}
+
+	var nilRec *Recorder
+	nilRec.OfferRequest(RequestTrace{TraceID: "x"})
+	if s := nilRec.RequestsSummary(); s.Count != 0 {
+		t.Fatalf("nil recorder summary %+v", s)
+	}
+}
+
+func TestStageBreakdownJSON(t *testing.T) {
+	bd := StageBreakdown{
+		QueueWait:     2 * time.Millisecond,
+		BatchAssembly: time.Millisecond,
+		PoolSample:    500 * time.Microsecond,
+		Classify:      3 * time.Millisecond,
+		Solve:         4 * time.Millisecond,
+	}
+	if bd.IsZero() {
+		t.Fatal("populated breakdown reported zero")
+	}
+	if got, want := bd.Total(), 10500*time.Microsecond; got != want {
+		t.Fatalf("Total() = %v, want %v", got, want)
+	}
+	b, err := bd.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StageBreakdown
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != bd {
+		t.Fatalf("round trip %+v != %+v", back, bd)
+	}
+	if !new(StageBreakdown).IsZero() {
+		t.Fatal("zero breakdown not IsZero")
+	}
+}
+
+func TestObserveStagesSkipsZero(t *testing.T) {
+	rec := NewRecorder()
+	rec.ObserveStages(StageBreakdown{QueueWait: time.Millisecond})
+	m := rec.Metrics()
+	if h, ok := m.Histograms[HistStageQueueWait]; !ok || h.Count != 1 {
+		t.Fatalf("queue_wait histogram %+v", m.Histograms[HistStageQueueWait])
+	}
+	for _, name := range []string{HistStageBatchAssembly, HistStagePoolSample, HistStageClassify, HistStageSolve} {
+		if h, ok := m.Histograms[name]; ok && h.Count != 0 {
+			t.Fatalf("zero stage %s was observed: %+v", name, h)
+		}
+	}
+	var nilRec *Recorder
+	nilRec.ObserveStages(StageBreakdown{Solve: time.Second}) // must not panic
+}
+
+func TestSpanTraceIdentity(t *testing.T) {
+	rec := NewRecorder()
+	s := rec.StartSpan("root")
+	s.SetTrace("trace-1", "span-1", "parent-1")
+	c := s.Child("child")
+	g := c.Child("grandchild")
+	a := s.AddChild("stage", time.Now(), time.Millisecond, map[string]any{"k": 1})
+	g.End()
+	c.End()
+	a.End()
+	s.End()
+
+	d := s.Dump()
+	if d.TraceID != "trace-1" || d.SpanID != "span-1" || d.ParentID != "parent-1" {
+		t.Fatalf("root dump %+v", d)
+	}
+	for _, cd := range d.Children {
+		if cd.TraceID != "trace-1" {
+			t.Fatalf("child %q lost trace identity: %+v", cd.Name, cd)
+		}
+	}
+	if d.Children[1].Attrs["k"] != 1 {
+		t.Fatalf("AddChild attrs %+v", d.Children[1].Attrs)
+	}
+	if d.Children[0].Children[0].TraceID != "trace-1" {
+		t.Fatal("grandchild lost trace identity")
+	}
+}
+
+// TestSpanDrainRace hammers one span tree from many goroutines — child
+// creation, attribute writes, ends, and concurrent dumps/trace walks —
+// to prove the locking drains cleanly under the race detector.
+func TestSpanDrainRace(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan("root")
+	root.SetTrace(strings.Repeat("d", 32), strings.Repeat("2", 16), "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := root.Child("work")
+				c.SetAttr("i", i)
+				gc := c.AddChild("sub", time.Now(), time.Microsecond, nil)
+				_ = gc.Dump()
+				c.End()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = root.Dump()
+			_ = rec.Trace()
+			root.SetTrace(strings.Repeat("d", 32), strings.Repeat("2", 16), "")
+		}
+	}()
+	wg.Wait()
+	root.End()
+	d := root.Dump()
+	if len(d.Children) != 8*50 {
+		t.Fatalf("root holds %d children, want %d", len(d.Children), 8*50)
+	}
+}
+
+func TestChromeTraceFlowEvents(t *testing.T) {
+	rec := NewRecorder()
+	flush := rec.StartSpan(StageWarmFlush)
+	flush.SetAttr("flush", 3)
+	flush.End()
+
+	traceID := strings.Repeat("e", 32)
+	root := rec.StartDetachedSpan("request")
+	root.SetTrace(traceID, strings.Repeat("3", 16), "")
+	root.AddChild(StageQueueWait, time.Now(), time.Millisecond, nil)
+	root.End()
+	rec.OfferRequest(RequestTrace{
+		TraceID: traceID, Name: "request", Flush: 3, DurMS: 5, Root: root.Dump(),
+	})
+	// A store hit (flush 0) must not grow a flow arrow.
+	hit := rec.StartDetachedSpan("request")
+	hit.End()
+	rec.OfferRequest(RequestTrace{TraceID: strings.Repeat("f", 32), Name: "request", DurMS: 1, Root: hit.Dump()})
+
+	events := rec.ChromeTrace()
+	var start, finish *ChromeEvent
+	var flushTID, reqTID int
+	for i := range events {
+		ev := &events[i]
+		switch {
+		case ev.Name == StageWarmFlush:
+			flushTID = ev.TID
+		case ev.Name == "request" && ev.Args["trace_id"] == traceID:
+			reqTID = ev.TID
+		case ev.Cat == "shahin-flow" && ev.Ph == "s":
+			start = ev
+		case ev.Cat == "shahin-flow" && ev.Ph == "f":
+			finish = ev
+		}
+	}
+	if start == nil || finish == nil {
+		t.Fatalf("flow pair missing: start=%v finish=%v", start, finish)
+	}
+	if start.ID != traceID || finish.ID != traceID {
+		t.Fatalf("flow IDs %q / %q, want trace ID", start.ID, finish.ID)
+	}
+	if start.TID != reqTID {
+		t.Fatalf("flow start on tid %d, request track is %d", start.TID, reqTID)
+	}
+	if finish.TID != flushTID || finish.BP != "e" {
+		t.Fatalf("flow finish %+v, want flush tid %d bp e", finish, flushTID)
+	}
+	// Exactly one pair: the store hit contributed none.
+	var flows int
+	for _, ev := range events {
+		if ev.Cat == "shahin-flow" {
+			flows++
+		}
+	}
+	if flows != 2 {
+		t.Fatalf("%d flow events, want 2", flows)
+	}
+}
+
+func TestCompareLedgersSLO(t *testing.T) {
+	mk := func(latency, avail float64) *RunLedger {
+		l := mkLedger(1000, 3000, 100)
+		l.SLO = &SLOStatus{
+			WindowMS: 60000,
+			Objectives: []SLOObjective{
+				{Name: SLOLatency, Goal: 0.99, Compliance: latency, Met: latency >= 0.99},
+				{Name: SLOAvailability, Goal: 0.999, Compliance: avail, Met: avail >= 0.999},
+			},
+		}
+		return l
+	}
+	th := Thresholds{Wall: 10, Reuse: 1, Invocations: 10, SLO: 0.01}
+
+	// Within threshold: not regressed.
+	_, regressed := CompareLedgers(mk(0.995, 1), mk(0.99, 1), th)
+	if regressed {
+		t.Fatal("compliance drop within threshold flagged as regression")
+	}
+	// Beyond threshold: regressed, and the delta is gated.
+	deltas, regressed := CompareLedgers(mk(0.99, 1), mk(0.9, 1), th)
+	if !regressed {
+		t.Fatal("large compliance drop not flagged")
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Metric == "slo_compliance_"+SLOLatency {
+			found = true
+			if !d.Gated || !d.Regressed {
+				t.Fatalf("slo delta %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no slo_compliance delta emitted")
+	}
+	// SLO data vanishing from the current run is itself a regression.
+	curr := mkLedger(1000, 3000, 100)
+	if _, regressed := CompareLedgers(mk(1, 1), curr, th); !regressed {
+		t.Fatal("missing SLO in current ledger not flagged")
+	}
+	// A baseline without SLO gates nothing (schema-1 ledgers stay green).
+	deltas, regressed = CompareLedgers(mkLedger(1000, 3000, 100), mk(0.5, 0.5), th)
+	if regressed {
+		t.Fatal("SLO gated without baseline data")
+	}
+	for _, d := range deltas {
+		if strings.HasPrefix(d.Metric, "slo_") {
+			t.Fatalf("unexpected SLO delta %+v without baseline", d)
+		}
+	}
+}

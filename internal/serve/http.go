@@ -29,12 +29,16 @@ type BatchRequest struct {
 // core.Explanation.Status ("ok", "degraded", "failed"); Source is
 // "store" for exact-repeat hits answered from the explanation store and
 // "computed" for tuples that went through a flush. WaitMS is the time
-// the request spent in the service, queueing included.
+// the request spent in the service, queueing included; Stages breaks it
+// down per pipeline stage, and TraceID is the request's trace identity
+// (resolvable via GET /requests?trace=<id> while retained).
 type ExplainResponse struct {
-	Explanation core.Explanation `json:"explanation"`
-	Status      string           `json:"status"`
-	Source      string           `json:"source"`
-	WaitMS      float64          `json:"wait_ms"`
+	Explanation core.Explanation    `json:"explanation"`
+	Status      string              `json:"status"`
+	Source      string              `json:"source"`
+	WaitMS      float64             `json:"wait_ms"`
+	TraceID     string              `json:"trace_id,omitempty"`
+	Stages      *obs.StageBreakdown `json:"stages,omitempty"`
 }
 
 // BatchResponse is the POST /v1/explain/batch answer: one
@@ -59,10 +63,18 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/explain/batch  explain a batch of tuples
 //	GET  /healthz           liveness (200 while the process runs)
 //	GET  /readyz            readiness (503 before start and while draining)
+//	GET  /slo               SLO objective status (compliance, burn rate)
+//	GET  /requests          slow-request exemplars (?trace=<id> for one)
+//
+// The explain endpoints honour an incoming W3C traceparent header (the
+// response joins the caller's trace as a child) and always echo the
+// resolved identity back via traceparent and X-Shahin-Trace-Id headers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/batch", s.handleBatch)
+	mux.HandleFunc("GET /slo", obs.SLOHandler(s.rec))
+	mux.HandleFunc("GET /requests", obs.RequestsHandler(s.rec))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -90,7 +102,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, code := s.explainOne(r, req.Tuple)
+	tc, parent := requestTrace(r)
+	setTraceHeaders(w, tc)
+	resp, code := s.explainOne(r, req.Tuple, tc, parent)
 	writeJSON(w, code, resp)
 }
 
@@ -114,14 +128,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The batch shares one trace: the batch identity (echoed in the
+	// response headers) parents one child trace context per tuple, so
+	// every tuple's span carries the same trace ID with its own span ID.
+	tc, _ := requestTrace(r)
+	setTraceHeaders(w, tc)
 	resp := BatchResponse{Explanations: make([]ExplainResponse, len(req.Tuples)), Count: len(req.Tuples)}
 	codes := make([]int, len(req.Tuples))
 	var wg sync.WaitGroup
 	for i, tuple := range req.Tuples {
+		itc := tc.Child()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp.Explanations[i], codes[i] = s.explainOne(r, tuple)
+			resp.Explanations[i], codes[i] = s.explainOne(r, tuple, itc, tc.SpanID)
 		}()
 	}
 	wg.Wait()
@@ -144,10 +164,15 @@ func (s *Server) checkTuple(tuple []float64) error {
 }
 
 // explainOne runs one tuple through the store fast path or the
-// admission queue and maps the outcome to an HTTP status code.
-func (s *Server) explainOne(r *http.Request, tuple []float64) (ExplainResponse, int) {
+// admission queue and maps the outcome to an HTTP status code. Every
+// path — hit, computed, rejected, timed out — closes the request's
+// detached root span, offers it to the slow-request ring, and feeds the
+// SLO tracker.
+func (s *Server) explainOne(r *http.Request, tuple []float64, tc obs.TraceContext, parent string) (ExplainResponse, int) {
 	start := time.Now() //shahinvet:allow walltime — request latency feeds the serving histograms
 	s.rec.Counter(obs.CounterServeRequests).Inc()
+	root := s.rec.StartDetachedSpan("request")
+	root.SetTrace(tc.TraceID, tc.SpanID, parent)
 	defer func() {
 		if s.rec != nil {
 			s.rec.Histogram(obs.HistServeRequest).Observe(time.Since(start))
@@ -156,11 +181,17 @@ func (s *Server) explainOne(r *http.Request, tuple []float64) (ExplainResponse, 
 
 	if exp, ok := s.lookup(tuple); ok {
 		s.rec.Counter(obs.CounterServeStoreHits).Inc()
+		// A store hit never queues or classifies: the whole elapsed time
+		// is lookup, attributed to the solve stage so coverage stays total.
+		bd := obs.StageBreakdown{Solve: time.Since(start)}
+		wait := s.finishRequest(root, tc, parent, start, &bd, "store", exp.Status.String(), 0, http.StatusOK)
 		return ExplainResponse{
 			Explanation: exp,
 			Status:      exp.Status.String(),
 			Source:      "store",
-			WaitMS:      msSince(start),
+			WaitMS:      wait,
+			TraceID:     tc.TraceID,
+			Stages:      stagesPtr(bd),
 		}, http.StatusOK
 	}
 
@@ -172,35 +203,146 @@ func (s *Server) explainOne(r *http.Request, tuple []float64) (ExplainResponse, 
 	}
 	req, err := s.admit(ctx, tuple)
 	if err != nil {
-		return ExplainResponse{Status: core.StatusFailed.String(), Source: "rejected", WaitMS: msSince(start)},
+		wait := s.finishRequest(root, tc, parent, start, nil, "rejected", core.StatusFailed.String(), 0, http.StatusServiceUnavailable)
+		return ExplainResponse{Status: core.StatusFailed.String(), Source: "rejected", WaitMS: wait, TraceID: tc.TraceID},
 			http.StatusServiceUnavailable
 	}
 	select {
 	case out := <-req.done:
 		if out.err != nil {
-			return ExplainResponse{Status: core.StatusFailed.String(), Source: "computed", WaitMS: msSince(start)},
+			wait := s.finishRequest(root, tc, parent, start, nil, "computed", core.StatusFailed.String(), out.flush, http.StatusGatewayTimeout)
+			return ExplainResponse{Status: core.StatusFailed.String(), Source: "computed", WaitMS: wait, TraceID: tc.TraceID},
 				http.StatusGatewayTimeout
 		}
 		code := http.StatusOK
 		if out.exp.Status == core.StatusFailed {
 			code = http.StatusInternalServerError
 		}
+		bd := out.bd
+		wait := s.finishRequest(root, tc, parent, start, &bd, "computed", out.exp.Status.String(), out.flush, code)
 		return ExplainResponse{
 			Explanation: out.exp,
 			Status:      out.exp.Status.String(),
 			Source:      "computed",
-			WaitMS:      msSince(start),
+			WaitMS:      wait,
+			TraceID:     tc.TraceID,
+			Stages:      stagesPtr(bd),
 		}, code
 	case <-ctx.Done():
 		s.rec.Counter(obs.CounterServeTimeouts).Inc()
-		return ExplainResponse{Status: core.StatusFailed.String(), Source: "computed", WaitMS: msSince(start)},
+		wait := s.finishRequest(root, tc, parent, start, nil, "computed", core.StatusFailed.String(), 0, http.StatusGatewayTimeout)
+		return ExplainResponse{Status: core.StatusFailed.String(), Source: "computed", WaitMS: wait, TraceID: tc.TraceID},
 			http.StatusGatewayTimeout
 	}
 }
 
-// msSince reports elapsed milliseconds for response latency fields.
-func msSince(start time.Time) float64 {
-	return float64(time.Since(start)) / float64(time.Millisecond)
+// finishRequest closes a request's root span, lays its non-zero stages
+// out as sequential child spans, offers the trace to the slow-request
+// exemplar ring, and records the outcome against the SLO objectives
+// (availability counts 5xx answers as bad). It returns the request's
+// wall time in milliseconds for the response's wait_ms field.
+//
+// When bd is a non-zero breakdown it is topped up in place: time the
+// stages cannot see (admission before enqueue, wake-up after delivery,
+// store-lookup bookkeeping) is serving overhead too, folded into the
+// stage that owns the path so the breakdown explains the whole wait
+// measured by the same clock reading that produces wait_ms.
+func (s *Server) finishRequest(root *obs.Span, tc obs.TraceContext, parent string, start time.Time, bd *obs.StageBreakdown, source, status string, flush, code int) float64 {
+	elapsed := time.Since(start)
+	s.rec.RecordSLO(elapsed, code < http.StatusInternalServerError)
+	ms := float64(elapsed) / float64(time.Millisecond)
+	var sbd obs.StageBreakdown
+	if bd != nil && !bd.IsZero() {
+		if residual := elapsed - bd.Total(); residual > 0 {
+			if source == "store" {
+				bd.Solve += residual
+			} else {
+				bd.BatchAssembly += residual
+			}
+		}
+		sbd = *bd
+	}
+	if root == nil {
+		return ms
+	}
+	addStageChildren(root, start, sbd)
+	root.SetAttr("source", source)
+	if status != "" {
+		root.SetAttr("status", status)
+	}
+	if flush > 0 {
+		root.SetAttr("flush", flush)
+	}
+	root.End()
+	s.rec.OfferRequest(obs.RequestTrace{
+		TraceID:  tc.TraceID,
+		SpanID:   tc.SpanID,
+		ParentID: parent,
+		Name:     "request",
+		Source:   source,
+		Status:   status,
+		Flush:    flush,
+		DurMS:    ms,
+		Stages:   sbd,
+		Root:     root.Dump(),
+	})
+	return ms
+}
+
+// addStageChildren lays the request's non-zero stages under root as
+// sequential child spans. The layout is synthesised after the fact —
+// the real work interleaves with the shared flush — so children line up
+// end to end from the request's start and their sum never exceeds the
+// root's duration.
+func addStageChildren(root *obs.Span, start time.Time, bd obs.StageBreakdown) {
+	if root == nil || bd.IsZero() {
+		return
+	}
+	t := start
+	for _, st := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{obs.StageQueueWait, bd.QueueWait},
+		{obs.StageBatchAssembly, bd.BatchAssembly},
+		{obs.StagePoolSample, bd.PoolSample},
+		{obs.StageClassify, bd.Classify},
+		{obs.StageSolve, bd.Solve},
+	} {
+		if st.d <= 0 {
+			continue
+		}
+		root.AddChild(st.name, t, st.d, nil)
+		t = t.Add(st.d)
+	}
+}
+
+// requestTrace resolves a request's trace identity: a child of the
+// caller's W3C traceparent header when a valid one is present (the
+// service's spans join the caller's trace), otherwise a fresh root
+// trace. parent is the caller's span ID, empty for fresh traces.
+func requestTrace(r *http.Request) (tc obs.TraceContext, parent string) {
+	if in, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		return in.Child(), in.SpanID
+	}
+	return obs.NewTraceContext(), ""
+}
+
+// setTraceHeaders echoes the resolved trace identity on the response:
+// the full traceparent for propagation-aware callers and the bare trace
+// ID for humans correlating against GET /requests.
+func setTraceHeaders(w http.ResponseWriter, tc obs.TraceContext) {
+	w.Header().Set("Traceparent", tc.Traceparent())
+	w.Header().Set("X-Shahin-Trace-Id", tc.TraceID)
+}
+
+// stagesPtr boxes a non-zero breakdown for the response's omitempty
+// stages field (nil hides the field entirely on zero breakdowns).
+func stagesPtr(bd obs.StageBreakdown) *obs.StageBreakdown {
+	if bd.IsZero() {
+		return nil
+	}
+	return &bd
 }
 
 // decodeBody parses a bounded JSON request body into v.

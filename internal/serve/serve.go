@@ -89,6 +89,13 @@ type request struct {
 type outcome struct {
 	exp core.Explanation
 	err error
+	// bd is the request's latency attribution: queue wait and batch
+	// assembly measured here, pool/classify/solve inherited from the
+	// flush's core breakdowns (zero when the run had no recorder).
+	bd obs.StageBreakdown
+	// flush is the warm-flush sequence number that answered the request,
+	// joining its trace to the shared fan-in (0 for store hits).
+	flush int
 }
 
 // Server owns the admission queue, the warm explainer, and the
@@ -298,8 +305,30 @@ func (s *Server) flush(batch []*request) {
 		}
 	}
 	s.storeMu.Unlock()
+
+	// Latency attribution: each request inherits its tuple's core stage
+	// breakdown (pool_sample / classify / solve), plus the two stages
+	// only the serving layer can see — time queued before the flush
+	// started, and the flush residue (batching, store writes, fan-out)
+	// not attributed to any core stage. Core already observed its stages
+	// into the histograms, so only the serving stages are observed here.
+	deliver := time.Now() //shahinvet:allow walltime — flush latency attribution feeds the serving histograms
+	flushDur := deliver.Sub(start)
 	for i, req := range live {
-		req.done <- outcome{exp: res.Explanations[i]}
+		var bd obs.StageBreakdown
+		if res.Breakdowns != nil {
+			bd = res.Breakdowns[i]
+		}
+		bd.QueueWait = start.Sub(req.enq)
+		if bd.QueueWait < 0 {
+			bd.QueueWait = 0
+		}
+		bd.BatchAssembly = flushDur - bd.PoolSample - bd.Classify - bd.Solve
+		if bd.BatchAssembly < 0 {
+			bd.BatchAssembly = 0
+		}
+		s.rec.ObserveStages(obs.StageBreakdown{QueueWait: bd.QueueWait, BatchAssembly: bd.BatchAssembly})
+		req.done <- outcome{exp: res.Explanations[i], bd: bd, flush: res.Flush}
 	}
 
 	s.rec.Counter(obs.CounterServeFlushes).Inc()

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"shahin/internal/obs"
+)
+
+// postTraced sends one explain request, optionally carrying a
+// traceparent header, and returns the decoded response, status code,
+// and response headers.
+func postTraced(url string, tuple []float64, traceparent string) (ExplainResponse, int, http.Header, error) {
+	var out ExplainResponse
+	body, err := json.Marshal(ExplainRequest{Tuple: tuple})
+	if err != nil {
+		return out, 0, nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/explain", bytes.NewReader(body))
+	if err != nil {
+		return out, 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return out, 0, nil, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.StatusCode, resp.Header, err
+}
+
+// TestServeTraceReconciliation fires concurrent requests and reconciles
+// every answer against the tracing surfaces: each request carries a
+// unique trace ID, resolves to exactly one retained root span whose
+// children's durations sum to no more than the root's, its stage
+// breakdown explains at least 90% of the reported wait, the exemplar
+// ring retains one entry per request, no request root leaks into the
+// recorder's span forest, and the SLO tracker saw every request.
+func TestServeTraceReconciliation(t *testing.T) {
+	const n = 16
+	env := newEnv(t, 3, n)
+	rec := obs.NewRecorder()
+	rec.SetSLO(obs.NewSLOTracker(obs.SLOConfig{Window: time.Minute, LatencyTarget: 2 * time.Second}))
+	s, err := New(newWarm(t, env, 3), Config{BatchWindow: 2 * time.Millisecond, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(t.Context()) //shahinvet:allow errcheck — drain errors surface in the dedicated drain test
+
+	resps := make([]ExplainResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var code int
+			resps[i], code, _, errs[i] = postTraced(ts.URL, env.tuples[i], "")
+			if errs[i] == nil && code != http.StatusOK {
+				errs[i] = fmt.Errorf("HTTP %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool, n)
+	for i, r := range resps {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if r.TraceID == "" {
+			t.Fatalf("request %d: no trace id in response", i)
+		}
+		if seen[r.TraceID] {
+			t.Fatalf("request %d: duplicate trace id %s", i, r.TraceID)
+		}
+		seen[r.TraceID] = true
+
+		rt, ok := rec.RequestByTrace(r.TraceID)
+		if !ok {
+			t.Fatalf("request %d: trace %s not retained in the ring", i, r.TraceID)
+		}
+		if rt.Root == nil || rt.Root.Name != "request" || rt.Root.TraceID != r.TraceID {
+			t.Fatalf("request %d: malformed root %+v", i, rt.Root)
+		}
+		var childSum float64
+		for _, c := range rt.Root.Children {
+			childSum += c.DurMS
+		}
+		if childSum > rt.Root.DurMS*1.001+0.01 {
+			t.Fatalf("request %d: children sum %.3fms exceeds root %.3fms", i, childSum, rt.Root.DurMS)
+		}
+		if r.Stages == nil {
+			t.Fatalf("request %d: no stage breakdown", i)
+		}
+		stageSum := float64(r.Stages.Total()) / float64(time.Millisecond)
+		if stageSum < 0.9*r.WaitMS {
+			t.Fatalf("request %d: stages %.3fms explain <90%% of wait %.3fms", i, stageSum, r.WaitMS)
+		}
+	}
+
+	if sum := rec.RequestsSummary(); sum.Count != n {
+		t.Fatalf("ring retains %d requests, want %d", sum.Count, n)
+	}
+	for _, d := range rec.Trace() {
+		if d.Name == "request" {
+			t.Fatal("request root leaked into the recorder's span forest")
+		}
+	}
+	st, ok := rec.SLOStatus()
+	if !ok || st.Objectives[0].Total != n {
+		t.Fatalf("SLO tracker saw %d requests (ok=%v), want %d", st.Objectives[0].Total, ok, n)
+	}
+}
+
+// TestServeTraceparentEcho checks W3C trace propagation end to end: an
+// incoming traceparent is adopted (same trace, fresh span), echoed on
+// the response headers and body, resolvable through /requests?trace=,
+// shared by every tuple of a batch call, and replaced by a fresh valid
+// identity when the incoming header is malformed.
+func TestServeTraceparentEcho(t *testing.T) {
+	env := newEnv(t, 4, 8)
+	rec := obs.NewRecorder()
+	rec.SetSLO(obs.NewSLOTracker(obs.SLOConfig{Window: time.Minute}))
+	s, err := New(newWarm(t, env, 4), Config{BatchWindow: time.Millisecond, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(t.Context()) //shahinvet:allow errcheck — drain errors surface in the dedicated drain test
+
+	const (
+		upTrace = "0af7651916cd43dd8448eb211c80319c"
+		upSpan  = "b7ad6b7169203331"
+	)
+	out, code, hdr, err := postTraced(ts.URL, env.tuples[0], "00-"+upTrace+"-"+upSpan+"-01")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("traced request: HTTP %d, %v", code, err)
+	}
+	if got := hdr.Get("X-Shahin-Trace-Id"); got != upTrace {
+		t.Fatalf("X-Shahin-Trace-Id = %q, want %q", got, upTrace)
+	}
+	echoed, err := obs.ParseTraceparent(hdr.Get("Traceparent"))
+	if err != nil {
+		t.Fatalf("echoed traceparent %q: %v", hdr.Get("Traceparent"), err)
+	}
+	if echoed.TraceID != upTrace || echoed.SpanID == upSpan {
+		t.Fatalf("echoed traceparent %+v must keep the trace and mint a new span", echoed)
+	}
+	if out.TraceID != upTrace {
+		t.Fatalf("response body trace %q, want %q", out.TraceID, upTrace)
+	}
+
+	// The retained exemplar names the caller's span as its parent.
+	resp, err := http.Get(ts.URL + "/requests?trace=" + upTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt obs.RequestTrace
+	if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rt.TraceID != upTrace || rt.ParentID != upSpan {
+		t.Fatalf("/requests?trace: HTTP %d, %+v", resp.StatusCode, rt)
+	}
+
+	// An unknown trace answers 404.
+	resp, err = http.Get(ts.URL + "/requests?trace=ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// /slo reports the enabled tracker with both objectives.
+	resp, err = http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slo struct {
+		Enabled    bool               `json:"enabled"`
+		Objectives []obs.SLOObjective `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&slo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !slo.Enabled || len(slo.Objectives) != 2 {
+		t.Fatalf("/slo: %+v", slo)
+	}
+
+	// Every tuple of a batch call shares the caller's trace ID.
+	body, err := json.Marshal(BatchRequest{Tuples: env.tuples[1:4]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/explain/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+upTrace+"-"+upSpan+"-01")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Shahin-Trace-Id"); got != upTrace {
+		t.Fatalf("batch X-Shahin-Trace-Id = %q", got)
+	}
+	for i, e := range batch.Explanations {
+		if e.TraceID != upTrace {
+			t.Fatalf("batch tuple %d trace %q, want shared %q", i, e.TraceID, upTrace)
+		}
+	}
+
+	// A malformed traceparent falls back to a fresh valid identity.
+	out, code, hdr, err = postTraced(ts.URL, env.tuples[4], "garbage")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("malformed traceparent request: HTTP %d, %v", code, err)
+	}
+	fresh, err := obs.ParseTraceparent(hdr.Get("Traceparent"))
+	if err != nil {
+		t.Fatalf("fresh traceparent %q: %v", hdr.Get("Traceparent"), err)
+	}
+	if fresh.TraceID == upTrace || out.TraceID != fresh.TraceID {
+		t.Fatalf("fresh trace %+v vs body %q", fresh, out.TraceID)
+	}
+}
