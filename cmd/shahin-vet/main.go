@@ -1,14 +1,21 @@
-// Command shahin-vet runs the project's static-analysis suite: six
+// Command shahin-vet runs the project's static-analysis suite: eleven
 // analyzers enforcing the determinism, error-handling, nil-recorder,
-// and documentation invariants the reproduction depends on (see
-// internal/analysis). It prints go-vet-style diagnostics (or JSON with
-// -json) and exits non-zero when anything is flagged:
+// and documentation invariants the reproduction depends on, plus the
+// CFG-backed flow checks — context propagation (ctxflow), span and
+// lock lifecycles (spanend, lockguard), hot-path allocation discipline
+// (hotalloc), and an audit of the suppression inventory itself
+// (allowaudit). See internal/analysis. It prints go-vet-style
+// diagnostics (or JSON with -json) and exits non-zero when anything is
+// flagged:
 //
 //	go run ./cmd/shahin-vet ./...
 //	go run ./cmd/shahin-vet -json ./internal/...
 //	go run ./cmd/shahin-vet -run walltime,maporder ./internal/core
+//	go run ./cmd/shahin-vet -tests ./internal/serve
 //
-// Findings are suppressed per line with //shahinvet:allow <analyzer>.
+// Findings are suppressed per line with //shahinvet:allow <analyzer>;
+// allowaudit flags any such directive that no longer suppresses
+// anything. -tests additionally analyzes in-package _test.go files.
 package main
 
 import (

@@ -18,6 +18,26 @@
 //     identifier a doc comment, so godoc stays complete as the API
 //     grows.
 //
+// On top of the single-node checks sits a lightweight flow framework
+// (cfg.go, dataflow.go, callgraph.go): an intraprocedural CFG over
+// go/ast, a forward may-analysis engine, and a package-level call
+// graph. Four analyzers use it:
+//
+//   - ctxflow: incoming contexts must be forwarded to context-accepting
+//     callees; context.Background/TODO is forbidden on serve, fault,
+//     and *Ctx paths.
+//   - spanend: every StartSpan/StartDetachedSpan result is ended on all
+//     normal control-flow paths or explicitly handed off.
+//   - lockguard: no mutex copies, no lock leaked on any path, no
+//     blocking operation (channels, network, PredictCtx, Sleep) while a
+//     lock is held.
+//   - hotalloc: functions tagged //shahin:hotpath may not contain
+//     fmt.Sprintf-style formatting, uncapped appends in loops,
+//     interface boxing, or capturing closures in loops.
+//
+// A fifth, allowaudit, audits the suppression inventory itself: a
+// //shahinvet:allow directive that suppresses nothing is a finding.
+//
 // Findings can be suppressed per line with a
 //
 //	//shahinvet:allow <analyzer> [<analyzer>...] [— reason]
@@ -61,9 +81,23 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns the full suite in a stable order.
+// All returns the full suite in a stable order. The flow-aware checks
+// (ctxflow, spanend, lockguard, hotalloc) run on the CFG/dataflow
+// framework in cfg.go; allowaudit always executes last within an
+// invocation so it can see which directives the others consumed.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, ErrCheck, MapOrder, NilRecv, PkgDoc, WallTime}
+	return []*Analyzer{
+		AllowAudit, CtxFlow, DetRand, ErrCheck, HotAlloc, LockGuard,
+		MapOrder, NilRecv, PkgDoc, SpanEnd, WallTime,
+	}
+}
+
+// directiveUse identifies one (directive line, analyzer) suppression:
+// the unit allowaudit checks for staleness.
+type directiveUse struct {
+	file     string
+	line     int
+	analyzer string
 }
 
 // Pass is one (analyzer, package) run. Analyzers report findings
@@ -75,13 +109,27 @@ type Pass struct {
 
 	allow map[string]map[int]bool // file -> lines with an allow directive
 	diags []Diagnostic
+
+	// usage records which directive lines suppressed a finding, shared
+	// across the invocation's passes; ran is the set of analyzer names
+	// executed before allowaudit. Both feed the staleness audit.
+	usage map[directiveUse]bool
+	ran   map[string]bool
 }
 
-// Reportf records a finding at pos unless a directive suppresses it.
+// Reportf records a finding at pos unless a directive suppresses it,
+// in which case the consumed directive line is marked used.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	file := p.Pkg.relFile(position.Filename)
 	if lines := p.allow[file]; lines[position.Line] || lines[position.Line-1] {
+		if p.usage != nil {
+			used := position.Line
+			if !lines[position.Line] {
+				used = position.Line - 1
+			}
+			p.usage[directiveUse{file: file, line: used, analyzer: p.Analyzer.Name}] = true
+		}
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
@@ -94,14 +142,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // RunPackage runs the given analyzers over one loaded package and
-// returns the surviving findings sorted by position.
+// returns the surviving findings sorted by position. allowaudit, if
+// selected, runs after every other analyzer regardless of its slice
+// position, so directive-usage information is complete when it audits.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	usage := make(map[directiveUse]bool)
+	ran := make(map[string]bool)
+	var audit *Analyzer
+	ordered := make([]*Analyzer, 0, len(analyzers))
 	for _, an := range analyzers {
+		if an.Name == AllowAudit.Name {
+			audit = an
+			continue
+		}
+		ordered = append(ordered, an)
+		ran[an.Name] = true
+	}
+	if audit != nil {
+		ordered = append(ordered, audit)
+	}
+	var diags []Diagnostic
+	for _, an := range ordered {
 		pass := &Pass{
 			Analyzer: an,
 			Pkg:      pkg,
 			allow:    pkg.directiveLines(an.Name),
+			usage:    usage,
+			ran:      ran,
 		}
 		an.Run(pass)
 		diags = append(diags, pass.diags...)

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the package-level call-graph approximation of the flow
+// framework: for every function or method declared in the package, the
+// set of same-package functions it calls through static call sites
+// (identifier or selector calls resolved by the type checker). Calls
+// through function values, interface methods, and cross-package callees
+// are absent — the standard trade-off for an intraprocedural framework:
+// summaries computed over this graph are "best effort upward" (a
+// property provable from direct calls propagates), never claims about
+// dynamic dispatch.
+type CallGraph struct {
+	// Decls maps each declared function to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Callees maps a declared function to the same-package declared
+	// functions it statically calls, deduplicated, in source order.
+	Callees map[*types.Func][]*types.Func
+	// callers is the reverse edge set, for summary propagation.
+	callers map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph scans the package once and returns its call graph.
+func BuildCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		Callees: make(map[*types.Func][]*types.Func),
+		callers: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = fd
+		}
+	}
+	// Walk bodies in source order, not map order: the callers lists
+	// feed Transitive's worklist and must be deterministic run to run.
+	fns := make([]*types.Func, 0, len(g.Decls))
+	for fn := range g.Decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		fd := g.Decls[fn]
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pkg.Info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, declared := g.Decls[callee]; !declared {
+				return true
+			}
+			seen[callee] = true
+			g.Callees[fn] = append(g.Callees[fn], callee)
+			g.callers[callee] = append(g.callers[callee], fn)
+			return true
+		})
+		sort.Slice(g.Callees[fn], func(i, j int) bool {
+			return g.Callees[fn][i].Pos() < g.Callees[fn][j].Pos()
+		})
+	}
+	return g
+}
+
+// Transitive propagates a seed property up the call graph: the result
+// contains every function in seed plus every function that (directly or
+// transitively) calls one. Used for summaries like "may perform a
+// blocking operation".
+func (g *CallGraph) Transitive(seed map[*types.Func]bool) map[*types.Func]bool {
+	out := make(map[*types.Func]bool, len(seed))
+	var work []*types.Func
+	for fn, ok := range seed {
+		if ok {
+			out[fn] = true
+			work = append(work, fn)
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].Pos() < work[j].Pos() })
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range g.callers[fn] {
+			if !out[caller] {
+				out[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return out
+}

@@ -10,8 +10,19 @@ import (
 
 // Check loads the packages matching patterns under the module rooted
 // at dir and runs the given analyzers (nil means the full suite) over
-// each, returning all surviving findings sorted by position.
+// each, returning all surviving findings sorted by position. Test
+// files are excluded; CheckTests includes them.
 func Check(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return check(dir, patterns, analyzers, false)
+}
+
+// CheckTests is Check with each package's in-package _test.go files
+// included in the analyzed unit (the -tests flag of shahin-vet).
+func CheckTests(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return check(dir, patterns, analyzers, true)
+}
+
+func check(dir string, patterns []string, analyzers []*Analyzer, includeTests bool) ([]Diagnostic, error) {
 	modPath, err := ReadModulePath(dir)
 	if err != nil {
 		return nil, err
@@ -20,6 +31,7 @@ func Check(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, 
 	if err != nil {
 		return nil, err
 	}
+	loader.IncludeTests = includeTests
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -51,6 +63,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("dir", ".", "module root to analyze")
 	run := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: shahin-vet [flags] [packages]\n\n"+
 			"Runs shahin's project-specific analyzers over the module.\n"+
@@ -71,7 +84,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "shahin-vet:", err)
 		return 2
 	}
-	diags, err := Check(*dir, fs.Args(), analyzers)
+	diags, err := check(*dir, fs.Args(), analyzers, *tests)
 	if err != nil {
 		fmt.Fprintln(stderr, "shahin-vet:", err)
 		return 2

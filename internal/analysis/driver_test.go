@@ -75,6 +75,39 @@ func TestMainJSONAndExit(t *testing.T) {
 		}
 	}
 
+	// -tests pulls in in-package _test.go files: the planted violation
+	// in errcheck/extra_test.go appears only with the flag.
+	out.Reset()
+	if code := Main([]string{"-dir", fixtures, "-tests", "-run", "errcheck", "-json", "./errcheck"}, &out, &errBuf); code != 1 {
+		t.Fatalf("-tests exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	var withTests []Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &withTests); err != nil {
+		t.Fatal(err)
+	}
+	testFileHit := false
+	for _, d := range withTests {
+		if strings.HasSuffix(d.File, "_test.go") {
+			testFileHit = true
+		}
+	}
+	if !testFileHit {
+		t.Error("-tests produced no finding from a _test.go file")
+	}
+	out.Reset()
+	if code := Main([]string{"-dir", fixtures, "-run", "errcheck", "-json", "./errcheck"}, &out, &errBuf); code != 1 {
+		t.Fatalf("default errcheck run exit %d, want 1", code)
+	}
+	var withoutTests []Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &withoutTests); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range withoutTests {
+		if strings.HasSuffix(d.File, "_test.go") {
+			t.Errorf("default run leaked a test-file finding: %s", d)
+		}
+	}
+
 	// Usage and load errors exit 2.
 	if code := Main([]string{"-run", "nope"}, &out, &errBuf); code != 2 {
 		t.Errorf("unknown analyzer: exit %d, want 2", code)

@@ -1,0 +1,49 @@
+package analysis
+
+import "go/ast"
+
+// forEachFuncBody visits every analyzable function body in the
+// package: each top-level declaration with a body, and each function
+// literal nested inside one (literals are opaque to the enclosing
+// CFG, so flow analyzers treat each as its own unit). The visit
+// callback receives the enclosing declaration for position context —
+// for a literal, that is the declaration it is lexically inside.
+func forEachFuncBody(pkg *Package, visit func(fd *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(fd, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// childNodes returns the direct (depth-1) AST children of n, in
+// source order. Used by walkers that need custom descent control a
+// plain ast.Inspect cannot express.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	depth := 0
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			depth--
+			return true
+		}
+		depth++
+		if depth > 1 {
+			out = append(out, c)
+			depth-- // not descending, so no closing nil callback comes
+			return false
+		}
+		return true
+	})
+	return out
+}

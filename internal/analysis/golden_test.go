@@ -49,20 +49,30 @@ func parseWants(pkg *Package) map[string][]string {
 // nothing unexpected or suppressed leaks through.
 func TestAnalyzersGolden(t *testing.T) {
 	cases := []struct {
-		fixture  string
-		analyzer *Analyzer
+		name      string
+		fixture   string
+		analyzers []*Analyzer
 	}{
-		{"detrand", DetRand},
-		{"maporder", MapOrder},
-		{"walltime", WallTime},
-		{"errcheck", ErrCheck},
-		{"obs", NilRecv},
-		{"pkgdoc", PkgDoc},
+		{"detrand", "detrand", []*Analyzer{DetRand}},
+		{"maporder", "maporder", []*Analyzer{MapOrder}},
+		{"walltime", "walltime", []*Analyzer{WallTime}},
+		{"errcheck", "errcheck", []*Analyzer{ErrCheck}},
+		{"nilrecv", "obs", []*Analyzer{NilRecv}},
+		{"pkgdoc", "pkgdoc", []*Analyzer{PkgDoc}},
+		{"ctxflow", "ctxflow", []*Analyzer{CtxFlow}},
+		{"ctxflow-serve", "ctxflow/serve", []*Analyzer{CtxFlow}},
+		{"spanend", "spanend", []*Analyzer{SpanEnd}},
+		{"lockguard", "lockguard", []*Analyzer{LockGuard}},
+		{"hotalloc", "hotalloc", []*Analyzer{HotAlloc}},
+		// allowaudit needs a companion analyzer so one directive in the
+		// fixture is genuinely consumed (a used directive is the
+		// deliberate non-finding).
+		{"allowaudit", "allowaudit", []*Analyzer{ErrCheck, AllowAudit}},
 	}
 	for _, tc := range cases {
-		t.Run(tc.analyzer.Name, func(t *testing.T) {
+		t.Run(tc.name, func(t *testing.T) {
 			pkg := loadFixture(t, tc.fixture)
-			diags := RunPackage(pkg, []*Analyzer{tc.analyzer})
+			diags := RunPackage(pkg, tc.analyzers)
 			wants := parseWants(pkg)
 
 			matched := make(map[string]int)

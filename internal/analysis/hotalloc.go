@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces the zero-alloc contract on functions tagged with a
+//
+//	//shahin:hotpath
+//
+// directive in their doc comment: the perturbation and solve inner
+// loops whose steady-state allocation behaviour the reuse guarantees
+// (and the benchmarks) depend on. Inside a tagged function the
+// analyzer flags the escaping-allocation patterns that regress
+// silently:
+//
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf (always allocate);
+//   - append calls in a loop whose destination is not provably
+//     pre-sized in the same function (3-index make or full slice
+//     expression) — loop membership comes from the CFG's cycles, so
+//     goto-formed loops count;
+//   - interface boxing: a concrete value passed to an interface-typed
+//     parameter or assigned to an interface-typed variable;
+//   - function literals in a loop that capture outer variables (the
+//     closure, and often the captured variable, escape per iteration).
+//
+// One-time set-up allocations (make with explicit size, struct
+// construction) are deliberately permitted: the contract is "no
+// allocation per iteration that the compiler cannot elide", not "no
+// allocation ever". A tagged function that must break one rule keeps a
+// //shahinvet:allow hotalloc directive with its reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid escaping allocations (Sprintf, uncapped append, boxing, loop closures) in //shahin:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// hotPathDirective is the tag marking a function as allocation-audited.
+const hotPathDirective = "//shahin:hotpath"
+
+// fmtAllocators are the fmt functions that always allocate their result.
+var fmtAllocators = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+// isHotPath reports whether the declaration carries the hotpath tag in
+// its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc audits one tagged function.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	g := BuildCFG(fd.Body)
+	loops := g.LoopBlocks()
+	capped := cappedSlices(info, fd.Body)
+
+	for _, blk := range g.ReversePostorder() {
+		inLoop := loops[blk]
+		for _, n := range blk.Nodes {
+			auditHotNode(pass, info, n, inLoop, capped)
+		}
+	}
+}
+
+// auditHotNode audits one CFG node. inLoop selects the loop-only
+// checks (uncapped append, capturing closures).
+func auditHotNode(pass *Pass, info *types.Info, node ast.Node, inLoop bool, capped map[types.Object]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if inLoop {
+				if name := capturedVar(info, n); name != "" {
+					pass.Reportf(n.Pos(),
+						"closure capturing %s inside a loop on a hot path allocates per iteration; hoist it out of the loop", name)
+				}
+			}
+			return false // literal bodies execute elsewhere
+		case *ast.CallExpr:
+			auditHotCall(pass, info, n, inLoop, capped)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				lt := info.TypeOf(n.Lhs[i])
+				if lt != nil && isInterfaceType(lt) && boxes(info, rhs) {
+					pass.Reportf(rhs.Pos(),
+						"assignment boxes %s into interface %s on a hot path; keep the value concrete",
+						types.ExprString(rhs), lt.String())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// auditHotCall audits one call inside a tagged function.
+func auditHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, inLoop bool, capped map[types.Object]bool) {
+	if fn, ok := calleeFromPackage(info, call, "fmt"); ok && fmtAllocators[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"fmt.%s allocates on a hot path; pre-render outside the loop or drop the formatting", fn.Name())
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(info, id) {
+		if inLoop && !appendCapped(info, call, capped) {
+			pass.Reportf(call.Pos(),
+				"append in a loop on a hot path without a pre-sized destination; make the slice with explicit capacity first")
+		}
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil || !isInterfaceType(pt) {
+			continue
+		}
+		if boxes(info, arg) {
+			pass.Reportf(arg.Pos(),
+				"argument %s boxes into interface %s on a hot path; keep the call monomorphic",
+				types.ExprString(arg), pt.String())
+		}
+	}
+}
+
+// isBuiltin reports whether the identifier resolves to a predeclared
+// builtin (a shadowing local would resolve to a *types.Var instead).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isInterfaceType reports whether t's underlying type is an interface
+// (any and error included).
+func isInterfaceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether passing/assigning e into an interface slot
+// allocates: its static type is concrete and it is not the untyped nil.
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	if isInterfaceType(tv.Type) {
+		return false // interface-to-interface, no new allocation
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// capturedVar returns the name of one outer variable the literal
+// captures ("" when it captures nothing). Deterministically the
+// earliest-declared capture, for stable diagnostics.
+func capturedVar(info *types.Info, lit *ast.FuncLit) string {
+	var best *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Outside the literal, not package-level.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level: no per-iteration capture
+		}
+		if best == nil || v.Pos() < best.Pos() {
+			best = v
+		}
+		return true
+	})
+	if best == nil {
+		return ""
+	}
+	return best.Name()
+}
+
+// cappedSlices collects the local slice variables whose construction
+// proves a capacity: 3-index make, or a full slice expression a[x:y:z].
+func cappedSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := spanObjOf(info, id)
+			if obj == nil {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				if fid, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok &&
+					fid.Name == "make" && isBuiltin(info, fid) && len(rhs.Args) == 3 {
+					out[obj] = true
+				}
+			case *ast.SliceExpr:
+				if rhs.Slice3 {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendCapped reports whether the append destination is a variable
+// proven pre-sized in this function.
+func appendCapped(info *types.Info, call *ast.CallExpr, capped map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return true // malformed; the type checker already complained
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	return obj != nil && capped[obj]
+}

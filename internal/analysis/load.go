@@ -15,8 +15,12 @@ import (
 )
 
 // Package is one parsed and type-checked package of the module under
-// analysis. Test files (_test.go) are excluded: the invariants guard
-// the production pipeline, and fixtures deliberately violate them.
+// analysis. Test files (_test.go) are excluded by default: the
+// invariants guard the production pipeline, and fixtures deliberately
+// violate them. Setting Loader.IncludeTests pulls in a package's
+// in-package test files too (external _test packages stay out — they
+// are separate compilation units the recursive loader cannot layer on
+// top of an already-checked package).
 type Package struct {
 	Path  string // import path ("shahin/internal/fim")
 	Dir   string // absolute directory
@@ -45,6 +49,12 @@ type Loader struct {
 	dir        string // module root (absolute)
 	modulePath string // module path from go.mod; "" loads bare fixture dirs
 	std        types.Importer
+
+	// IncludeTests adds each package's in-package _test.go files to the
+	// unit under analysis. Set it before the first Load call: results
+	// are memoized, so flipping it later has no effect on packages
+	// already loaded.
+	IncludeTests bool
 
 	pkgs    map[string]*Package
 	loading map[string]bool
@@ -144,10 +154,17 @@ func (l *Loader) Load(path string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
 	var files []*ast.File
+	var testNames []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			if l.IncludeTests {
+				testNames = append(testNames, name)
+			}
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -158,6 +175,18 @@ func (l *Loader) Load(path string) (*Package, error) {
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	// In-package test files join the same type-checking unit; external
+	// _test packages are skipped by comparing the package clause.
+	for _, name := range testNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if f.Name.Name != files[0].Name.Name {
+			continue
+		}
+		files = append(files, f)
 	}
 
 	info := &types.Info{

@@ -1,0 +1,32 @@
+// Package allowaudit exercises the suppression-inventory audit. The
+// golden test runs errcheck together with allowaudit over this file,
+// so directives that genuinely suppress an errcheck finding read as
+// used and everything else is flagged.
+package allowaudit
+
+import "os"
+
+// used carries a directive that suppresses a real errcheck finding:
+// the directive is consumed, so allowaudit stays quiet about it.
+func used() {
+	//shahinvet:allow errcheck — exercising a consumed directive
+	os.Remove("tmp")
+}
+
+// stale carries a directive above a line errcheck has no complaint
+// about (blank assignment is already allowed), so it suppresses
+// nothing.
+func stale() {
+	//shahinvet:allow errcheck — covers nothing // want "allowaudit: shahinvet:allow errcheck suppresses no errcheck finding"
+	_ = os.Remove("tmp2")
+}
+
+// unknown names an analyzer that does not exist.
+//
+//shahinvet:allow nosuchcheck // want "allowaudit: shahinvet:allow names unknown analyzer"
+func unknown() {}
+
+// malformed names no analyzers at all.
+//
+//shahinvet:allow  // want "allowaudit: shahinvet:allow directive names no analyzers"
+func malformed() {}

@@ -1,0 +1,38 @@
+// Package ctxflow exercises the context-propagation analyzer: severed
+// chains are findings, forwarded and derived contexts are not.
+package ctxflow
+
+import "context"
+
+func helper(ctx context.Context) {}
+
+// forwardOK threads the incoming context and a derived child: neither
+// call is a finding.
+func forwardOK(ctx context.Context) {
+	helper(ctx)
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	helper(child)
+}
+
+// severs drops the caller's context twice: once with a literal
+// Background call, once through a TODO-rooted variable.
+func severs(ctx context.Context) {
+	helper(context.Background()) // want "ctxflow: context.Background() passed to helper"
+	bg := context.TODO()
+	helper(bg) // want "ctxflow: context rooted in context.Background/TODO passed to helper"
+}
+
+// ExplainCtx is a *Ctx-named entry point: Background is banned inside
+// it even though the package is not serve or fault.
+func ExplainCtx(x int) {
+	ctx := context.Background() // want "ctxflow: context.Background() inside ExplainCtx"
+	helper(ctx)
+	_ = x
+}
+
+// freeAgent has no context parameter and a neutral name: Background is
+// legitimate here (a root is being created, not severed).
+func freeAgent() {
+	helper(context.Background())
+}

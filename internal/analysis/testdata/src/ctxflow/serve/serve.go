@@ -1,0 +1,19 @@
+// Package serve exercises ctxflow's package-level ban: in a package
+// whose path ends in serve (or fault), context.Background and
+// context.TODO are findings anywhere, not just next to a severed call.
+package serve
+
+import "context"
+
+// startup creates a root context on the serving path without an
+// annotation: a finding.
+func startup() context.Context {
+	return context.Background() // want "ctxflow: context.Background() inside package serve"
+}
+
+// lifecycleRoot is the sanctioned pattern: a deliberate detached root
+// carries an allow directive with its reason.
+func lifecycleRoot() context.Context {
+	//shahinvet:allow ctxflow — lifecycle root detached from any request
+	return context.TODO()
+}

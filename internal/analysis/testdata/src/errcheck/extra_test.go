@@ -1,0 +1,9 @@
+package errcheck
+
+import "os"
+
+// helperForTests exists so the driver's -tests flag has an in-package
+// test file with a violation: invisible by default, flagged with -tests.
+func helperForTests() {
+	os.Remove("scratch")
+}

@@ -1,0 +1,66 @@
+// Package hotalloc exercises the hot-path allocation analyzer: only
+// functions tagged //shahin:hotpath are audited.
+package hotalloc
+
+import "fmt"
+
+func sink(v interface{}) {}
+
+// renderAll formats inside its loop. The append itself is fine — the
+// destination is made with explicit capacity — but the Sprintf is not.
+//
+//shahin:hotpath
+func renderAll(items []int) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, fmt.Sprintf("%d", it)) // want "hotalloc: fmt.Sprintf allocates on a hot path"
+	}
+	return out
+}
+
+// collect grows an uncapped slice per iteration.
+//
+//shahin:hotpath
+func collect(items []int) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, it) // want "hotalloc: append in a loop on a hot path"
+	}
+	return out
+}
+
+// boxes passes a concrete int to an interface parameter.
+//
+//shahin:hotpath
+func boxes(x int) {
+	sink(x) // want "hotalloc: argument x boxes into interface"
+}
+
+// closures allocates a capturing closure every iteration.
+//
+//shahin:hotpath
+func closures(items []int) int {
+	total := 0
+	for _, it := range items {
+		add := func() { total += it } // want "hotalloc: closure capturing"
+		add()
+	}
+	return total
+}
+
+// presized does everything right: capacity up front, no formatting, no
+// boxing. No findings.
+//
+//shahin:hotpath
+func presized(items []int) []int {
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		out = append(out, it*it)
+	}
+	return out
+}
+
+// unaudited is not tagged, so the same Sprintf is not a finding here.
+func unaudited(items []int) string {
+	return fmt.Sprintf("%d", len(items))
+}

@@ -95,7 +95,7 @@ func Serving(cfg Config) (*Table, error) {
 	client := &http.Client{Timeout: 2 * time.Minute}
 
 	post := func(path string, body, out any) error {
-		start := time.Now() //shahinvet:allow walltime — client-observed request latency is the experiment's metric
+		start := time.Now() // client-observed request latency is the experiment's metric
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
@@ -240,9 +240,9 @@ func Serving(cfg Config) (*Table, error) {
 		lateDone <- post("/v1/explain", serve.ExplainRequest{Tuple: late}, &r)
 	}()
 	depth := rec.Gauge(obs.GaugeServeQueueDepth)
-	admitted := time.Now() //shahinvet:allow walltime — bounds the admission wait below
+	admitted := time.Now() // bounds the admission wait below
 	for depth.Value() == 0 && len(lateDone) == 0 && time.Since(admitted) < 10*time.Second {
-		time.Sleep(time.Millisecond) //shahinvet:allow walltime — polling an external HTTP round-trip
+		time.Sleep(time.Millisecond) // polling an external HTTP round-trip
 	}
 	dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()

@@ -90,6 +90,7 @@ const bridgeLabelCacheCap = 8192
 // their own (the chain underneath is shared and internally locked).
 type fallibleBridge struct {
 	ctx   context.Context
+	base  context.Context // construction-time context; ctx resets to it between tuples
 	chain *fault.Chain
 	st    *dataset.Stats
 	track bool // bookkeeping only when the chain can actually fail
@@ -128,6 +129,7 @@ var _ rf.Classifier = (*fallibleBridge)(nil)
 func newFallibleBridge(ctx context.Context, chain *fault.Chain, st *dataset.Stats, rec *obs.Recorder) *fallibleBridge {
 	fb := &fallibleBridge{
 		ctx:         ctx,
+		base:        ctx,
 		chain:       chain,
 		st:          st,
 		track:       chain.CanFail(),
@@ -146,6 +148,7 @@ func newFallibleBridge(ctx context.Context, chain *fault.Chain, st *dataset.Stat
 func (fb *fallibleBridge) fork() *fallibleBridge {
 	nb := &fallibleBridge{
 		ctx:         fb.ctx,
+		base:        fb.base,
 		chain:       fb.chain,
 		st:          fb.st,
 		track:       fb.track,

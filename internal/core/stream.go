@@ -152,7 +152,7 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 		s.root.SetTrace(c.TraceID, c.SpanID, tc.SpanID)
 	}
 	s.fb.ctx = obs.ContextWithSpan(ctx, s.root)
-	defer func() { s.fb.ctx = context.Background() }()
+	defer func() { s.fb.ctx = s.fb.base }()
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	defer func() { s.wall += time.Since(start) }()
 

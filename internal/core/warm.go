@@ -32,9 +32,13 @@ import (
 // and evicts ones that fell out of fashion (same policy as the
 // streaming variant, §3.5 of the paper).
 //
-// ExplainAllCtx is safe for concurrent use; calls serialise on an
-// internal mutex so flushes never interleave and the same sequence of
-// flush compositions reproduces byte-identical explanations.
+// ExplainAllCtx is safe for concurrent use; flushes serialise on an
+// internal admission gate so they never interleave and the same
+// sequence of flush compositions reproduces byte-identical
+// explanations. The gate is a channel rather than a mutex so a caller
+// waiting for the flush slot honours cancellation, and so the cheap
+// accessors (Report, Flushes, Remines) never block behind a running
+// flush — they share a separate short-hold mutex with the counters.
 type Warm struct {
 	opts       Options
 	st         *dataset.Stats
@@ -42,13 +46,21 @@ type Warm struct {
 	staleAfter int
 	maxPooled  int
 
+	// gate admits one flush at a time (capacity-1 channel; send to
+	// acquire, receive to release). Everything the flush path mutates —
+	// the repositories and the mining state below — is owned by the
+	// gate holder.
+	gate   chan struct{}
+	repo   *cache.Repo
+	sh     *anchor.Shared // Anchor-only persistent shared state
+	sets   []dataset.Itemset
+	window []dataset.Itemset // itemised tuples since the last re-mine
+	mined  bool
+	since  int // tuples explained since the last re-mine
+
+	// mu guards only the cross-flush counters, held for nanoseconds at
+	// a time so accessors stay responsive mid-flush.
 	mu      sync.Mutex
-	repo    *cache.Repo
-	sh      *anchor.Shared // Anchor-only persistent shared state
-	sets    []dataset.Itemset
-	window  []dataset.Itemset // itemised tuples since the last re-mine
-	mined   bool
-	since   int // tuples explained since the last re-mine
 	flushes int
 	remines int
 	cum     Report
@@ -74,6 +86,7 @@ func NewWarm(st *dataset.Stats, cls rf.Classifier, opts Options, staleAfter int)
 		st:         st,
 		cls:        cls,
 		staleAfter: staleAfter,
+		gate:       make(chan struct{}, 1),
 		repo:       cache.NewRepo(opts.CacheBytes),
 	}
 	w.repo.SetHooks(cacheHooks(opts.Recorder))
@@ -109,20 +122,34 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	if len(tuples) == 0 {
 		return nil, fmt.Errorf("core: empty flush")
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	// Acquire the flush slot; a caller cancelled before admission
+	// leaves without touching any state — it does not count as a flush
+	// — but still honours the partial-result contract: every tuple
+	// comes back StatusFailed alongside ctx.Err().
+	if err := ctx.Err(); err != nil {
+		return unadmittedResult(tuples), err
+	}
+	select {
+	case w.gate <- struct{}{}:
+	case <-ctx.Done():
+		return unadmittedResult(tuples), ctx.Err()
+	}
+	defer func() { <-w.gate }()
 
 	opts := w.opts
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
+	w.mu.Lock()
 	w.flushes++
+	flush := w.flushes
+	w.mu.Unlock()
 	// Every flush gets a fresh deterministic RNG derived from the flush
 	// index, so the same sequence of flush compositions reproduces
 	// byte-identical explanations regardless of wall-clock timing.
-	rng := rand.New(rand.NewSource(opts.Seed + 104729*int64(w.flushes)))
+	rng := rand.New(rand.NewSource(opts.Seed + 104729*int64(flush)))
 	rec := opts.Recorder
 	root := rec.StartSpan(obs.StageWarmFlush)
 	root.SetAttr("tuples", len(tuples))
-	root.SetAttr("flush", w.flushes)
+	root.SetAttr("flush", flush)
 	defer root.End()
 	if tc, ok := obs.TraceFromContext(ctx); ok {
 		c := tc.Child()
@@ -196,7 +223,21 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	}
 	rep.WallTime = time.Since(start)
 	w.accumulate(rep)
-	return &Result{Explanations: out, Report: rep, Breakdowns: bds, Flush: w.flushes}, ctx.Err()
+	return &Result{Explanations: out, Report: rep, Breakdowns: bds, Flush: flush}, ctx.Err()
+}
+
+// unadmittedResult is the partial result for a flush cancelled before
+// it acquired the flush slot: nothing was attempted, so every tuple is
+// StatusFailed and no warm state was touched.
+func unadmittedResult(tuples [][]float64) *Result {
+	out := make([]Explanation, len(tuples))
+	for i := range out {
+		out[i].Status = StatusFailed
+	}
+	return &Result{
+		Explanations: out,
+		Report:       Report{Tuples: len(tuples), Failed: len(tuples)},
+	}
 }
 
 // explainSerial runs the per-tuple phase on the caller's goroutine
@@ -372,7 +413,9 @@ func (w *Warm) remine(ctx context.Context, eng *engine, rng *rand.Rand, root *ob
 	w.window = w.window[:0]
 	w.since = 0
 	w.mined = true
+	w.mu.Lock()
 	w.remines++
+	w.mu.Unlock()
 }
 
 // materialize generates and labels τ perturbations for one itemset in
@@ -419,6 +462,8 @@ func (w *Warm) materialize(eng *engine, gen *perturb.Generator, set dataset.Item
 
 // accumulate folds one flush report into the cumulative one.
 func (w *Warm) accumulate(rep Report) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	c := &w.cum
 	c.Tuples += rep.Tuples
 	c.WallTime += rep.WallTime
@@ -462,10 +507,11 @@ func (w *Warm) Remines() int {
 func (w *Warm) NumAttrs() int { return w.st.NumAttrs() }
 
 // PooledItemsets reports how many itemsets currently hold materialised
-// perturbations.
+// perturbations. The repositories are owned by the flush gate, so this
+// accessor waits for any in-flight flush to finish.
 func (w *Warm) PooledItemsets() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.gate <- struct{}{}
+	defer func() { <-w.gate }()
 	return sampleRepo(w.repo, w.sh).Len()
 }
 

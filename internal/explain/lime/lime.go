@@ -179,6 +179,8 @@ func (e *Explainer) refitTop(X [][]float64, y, w, pilot []float64, k int) ([]flo
 }
 
 // topKByAbs returns the indices of the k largest-|v| entries.
+//
+//shahin:hotpath
 func topKByAbs(v []float64, k int) []int {
 	used := make([]bool, len(v))
 	out := make([]int, 0, k)
@@ -201,6 +203,8 @@ func topKByAbs(v []float64, k int) []int {
 // kernel is LIME's exponential proximity kernel over binary encodings:
 // exp(-d² / width²), where d² is the number of attributes whose bin
 // differs from the instance.
+//
+//shahin:hotpath
 func (e *Explainer) kernel(z []float64) float64 {
 	d2 := 0.0
 	for _, v := range z {

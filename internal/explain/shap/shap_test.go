@@ -128,7 +128,7 @@ type subsetPool struct {
 	st     *dataset.Stats
 	cls    rf.Classifier
 	gen    *perturb.Generator
-	stock  map[dataset.ItemsetKey][]perturb.Sample
+	stock  [][]perturb.Sample // ordered, so serving order is deterministic
 	serves int
 }
 
@@ -170,7 +170,7 @@ func TestExplainWithPoolSavesInvocations(t *testing.T) {
 	pool := &subsetPool{
 		st:    st,
 		cls:   cls,
-		stock: map[dataset.ItemsetKey][]perturb.Sample{frozen.Key(): samples},
+		stock: [][]perturb.Sample{samples},
 	}
 
 	counting := rf.NewCounting(cls)

@@ -186,10 +186,13 @@ func (s *Sym) MaxDiag() float64 {
 
 // Solve solves A x = b for symmetric positive-definite A via Cholesky
 // factorisation. A is not modified. It returns an error if the matrix is
-// not (numerically) positive definite.
+// not (numerically) positive definite. Error construction lives in the
+// cold helpers below so the tagged body stays free of fmt allocations.
+//
+//shahin:hotpath
 func (s *Sym) Solve(b []float64) ([]float64, error) {
 	if len(b) != s.n {
-		return nil, fmt.Errorf("linmodel: Solve rhs has %d entries want %d", len(b), s.n)
+		return nil, badRHSError(len(b), s.n)
 	}
 	n := s.n
 	// L is the packed lower-triangular Cholesky factor.
@@ -205,7 +208,7 @@ func (s *Sym) Solve(b []float64) ([]float64, error) {
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
-					return nil, fmt.Errorf("linmodel: matrix not positive definite at pivot %d (%g)", i, sum)
+					return nil, notPDError(i, sum)
 				}
 				set(i, j, math.Sqrt(sum))
 			} else {
@@ -232,4 +235,14 @@ func (s *Sym) Solve(b []float64) ([]float64, error) {
 		x[i] = sum / at(i, i)
 	}
 	return x, nil
+}
+
+// badRHSError and notPDError build Solve's failure values on the cold
+// path, keeping fmt out of the allocation-audited solver body.
+func badRHSError(got, want int) error {
+	return fmt.Errorf("linmodel: Solve rhs has %d entries want %d", got, want)
+}
+
+func notPDError(pivot int, sum float64) error {
+	return fmt.Errorf("linmodel: matrix not positive definite at pivot %d (%g)", pivot, sum)
 }

@@ -180,3 +180,15 @@ func SpanFromContext(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanCtxKey{}).(*Span)
 	return s
 }
+
+// RootContext returns a fresh detached context for lifecycle roots:
+// server-lifetime cancellation, background batchers, and other state
+// that deliberately outlives any single request. It is the repo's one
+// sanctioned constructor for such roots — request paths must forward
+// their incoming context instead (the ctxflow check enforces this on
+// serve/fault packages and *Ctx functions), so grepping for
+// obs.RootContext inventories every place a detached root is created
+// on purpose.
+func RootContext() context.Context {
+	return context.Background()
+}

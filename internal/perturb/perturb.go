@@ -52,6 +52,8 @@ func (g *Generator) Stats() *dataset.Stats { return g.stats }
 // item's attribute receives a value inside the item's bin, and all other
 // attributes are filled from the training distribution. This is the pooled
 // perturbation of Algorithms 1–3.
+//
+//shahin:hotpath
 func (g *Generator) ForItemset(frozen dataset.Itemset) Sample {
 	n := g.stats.Schema.NumAttrs()
 	row := make([]float64, n)
@@ -75,6 +77,8 @@ func (g *Generator) ForItemset(frozen dataset.Itemset) Sample {
 // freeze kept at t's exact values and the rest filled from the training
 // distribution. freeze must have one flag per attribute. This is the
 // classic per-tuple perturbation of LIME / Anchor / KernelSHAP.
+//
+//shahin:hotpath
 func (g *Generator) ForTuple(t []float64, freeze []bool) Sample {
 	row := make([]float64, len(t))
 	for a := range t {
@@ -96,6 +100,8 @@ func (g *Generator) ForTuple(t []float64, freeze []bool) Sample {
 // attribute a falls in the same bin as the tuple's (same category, or same
 // quartile bin for numerics), else 0. Both item slices must be canonical
 // per-attribute encodings as produced by Stats.ItemizeRow.
+//
+//shahin:hotpath
 func BinaryEncode(tupleItems, sampleItems []dataset.Item, out []float64) []float64 {
 	n := len(tupleItems)
 	if cap(out) < n {
@@ -115,6 +121,8 @@ func BinaryEncode(tupleItems, sampleItems []dataset.Item, out []float64) []float
 // MatchesBins reports whether the sample agrees with the tuple's bins on
 // every attribute of the itemset — the condition under which a pooled
 // perturbation is reusable for the tuple.
+//
+//shahin:hotpath
 func MatchesBins(itemset dataset.Itemset, sampleItems []dataset.Item) bool {
 	return itemset.ContainsAll(sampleItems)
 }

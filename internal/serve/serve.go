@@ -151,7 +151,9 @@ func New(warm *core.Warm, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: opening store %s: %w", cfg.StorePath, err)
 		}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The lifecycle root is deliberately detached from any request
+	// context: it ends when Close runs, not when a caller gives up.
+	ctx, cancel := context.WithCancel(obs.RootContext())
 	s := &Server{
 		cfg:       cfg,
 		warm:      warm,
