@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
@@ -25,39 +24,6 @@ import (
 	"shahin/internal/fault"
 	"shahin/internal/obs"
 )
-
-// experiments maps experiment ids to their runners.
-var experiments = map[string]struct {
-	desc string
-	run  func(bench.Config) (*bench.Table, error)
-}{
-	"table1":       {"Table 1: dataset characteristics + per-tuple seconds", bench.Table1},
-	"fig2":         {"Figure 2: Shahin vs DIST-k and GREEDY baselines", bench.Figure2},
-	"fig3":         {"Figure 3: Shahin-Batch speedup across datasets", bench.Figure3},
-	"fig4":         {"Figure 4: Shahin-Streaming speedup across datasets", bench.Figure4},
-	"fig5":         {"Figure 5: housekeeping overhead", bench.Figure5},
-	"fig6":         {"Figure 6: impact of tau", bench.Figure6},
-	"fig7":         {"Figure 7: impact of cache size", bench.Figure7},
-	"quality":      {"Explanation quality vs sequential baseline", bench.Quality},
-	"abl-sample":   {"Ablation A1: FIM sample-size heuristic", bench.AblationSample},
-	"abl-kernel":   {"Ablation A2: SHAP kernel size sampling", bench.AblationKernel},
-	"abl-border":   {"Ablation A3: streaming negative border", bench.AblationBorder},
-	"ext-sshap":    {"Extension: Sampling-Shapley under Shahin", bench.ExtSampleShapley},
-	"ext-approx":   {"Extension: approximation via reuse fraction", bench.ExtApproximate},
-	"ext-models":   {"Extension: speedup across classifiers", bench.ExtModels},
-	"ext-parallel": {"Extension: worker parallelism", bench.ExtParallel},
-	"smoke":        {"CI smoke: seq/batch/stream cost ledger at tiny scale", bench.Smoke},
-	"chaos":        {"Robustness: batch/stream under fault injection, retry, and circuit breaking", bench.Chaos},
-	"serving":      {"Serving: mixed request workload against a live shahin-serve pipeline", bench.Serving},
-}
-
-// order fixes the default execution order. The smoke experiment is a CI
-// workload, selected explicitly with -smoke or -exp smoke.
-var order = []string{
-	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"quality", "abl-sample", "abl-kernel", "abl-border",
-	"ext-sshap", "ext-approx", "ext-models", "ext-parallel",
-}
 
 func main() {
 	var (
@@ -79,6 +45,12 @@ func main() {
 		thWall      = flag.Float64("th-wall", 0.5, "compare: allowed fractional increase in wall time")
 		thReuse     = flag.Float64("th-reuse", 0.001, "compare: allowed absolute drop in reuse ratio")
 		thSLO       = flag.Float64("th-slo", 0.01, "compare: allowed absolute drop in per-objective SLO compliance (gated only when the baseline ledger has SLO data)")
+		thAllocs    = flag.Float64("th-allocs", 0.5, "compare: allowed fractional increase in per-benchmark allocs/op (gated only when the baseline ledger has benchmark data)")
+		thBytes     = flag.Float64("th-bytes", 0.5, "compare: allowed fractional increase in per-benchmark bytes/op (gated only when the baseline ledger has benchmark data)")
+		thGCCPU     = flag.Float64("th-gc-cpu", 0.25, "compare: allowed absolute increase in GC CPU fraction (gated only when the baseline ledger has runtime data)")
+
+		hotpathBench  = flag.Bool("hotpath-bench", false, "run -benchmem benchmarks over every //shahin:hotpath function and record them in the ledger")
+		runtimeSample = flag.Duration("runtime-sample", 100*time.Millisecond, "runtime telemetry sampling interval (heap, GC, goroutines, sched latency); 0 disables")
 
 		failRate       = flag.Float64("fail-rate", 0, "fault injection: probability a classifier call fails transiently")
 		spikeRate      = flag.Float64("spike-rate", 0, "fault injection: probability a classifier call stalls for -spike-delay")
@@ -98,18 +70,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "shahin-bench: -compare needs exactly two ledger paths: old.json new.json")
 			os.Exit(bench.CompareMalformed)
 		}
-		th := obs.Thresholds{Invocations: *thInv, Wall: *thWall, Reuse: *thReuse, SLO: *thSLO}
+		th := obs.Thresholds{
+			Invocations: *thInv, Wall: *thWall, Reuse: *thReuse, SLO: *thSLO,
+			AllocsPerOp: *thAllocs, BytesPerOp: *thBytes, GCCPU: *thGCCPU,
+		}
 		os.Exit(bench.CompareFiles(os.Stdout, args[0], args[1], th))
 	}
 
 	if *list {
-		ids := make([]string, 0, len(experiments))
-		for id := range experiments {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			fmt.Printf("%-12s %s\n", id, experiments[id].desc)
+		for _, id := range bench.ExperimentIDs() {
+			e, _ := bench.LookupExperiment(id)
+			fmt.Printf("%-12s %s\n", id, e.Desc)
 		}
 		return
 	}
@@ -118,6 +89,9 @@ func main() {
 	// atomic operations per tuple, invisible next to the calibrated
 	// per-invocation classifier delay.
 	rec := obs.NewRecorder()
+	if *runtimeSample > 0 {
+		rec.StartRuntimeSampling(*runtimeSample)
+	}
 	if *obsAddr != "" {
 		srv, err := obs.Serve(*obsAddr, rec)
 		if err != nil {
@@ -171,7 +145,7 @@ func main() {
 		}
 	}
 
-	ids := order
+	ids := bench.DefaultOrder()
 	if *smoke {
 		ids = []string{"smoke"}
 	}
@@ -182,13 +156,13 @@ func main() {
 	var tables []*bench.Table
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		e, ok := experiments[id]
+		e, ok := bench.LookupExperiment(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "shahin-bench: unknown experiment %q (use -list)\n", id)
 			os.Exit(1)
 		}
 		start := time.Now() //shahinvet:allow walltime — experiment wall time shown to the user
-		tab, err := e.run(cfg)
+		tab, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shahin-bench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -199,6 +173,24 @@ func main() {
 	}
 	wall := time.Since(runStart)
 
+	var benchResults []obs.BenchmarkResult
+	if *hotpathBench {
+		results, err := bench.HotpathResults(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-bench: hotpath benchmarks:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nhotpath benchmarks (-benchmem):")
+		for _, r := range results {
+			fmt.Printf("  %-34s %12.1f ns/op %10d B/op %8d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		benchResults = results
+	}
+	// Stop before snapshotting so the ledger's runtime section carries a
+	// final sample covering the whole run.
+	rec.StopRuntimeSampling()
+
 	fmt.Printf("\nper-stage totals: %s\n", obs.FormatStageTotals(rec.StageTotals()))
 	if p := rec.Progress(); p.Invocations > 0 {
 		fmt.Printf("classifier invocations: %d; %d samples reused (%.1f%% reuse)\n",
@@ -207,6 +199,7 @@ func main() {
 
 	if *jsonOut != "" {
 		l := bench.BuildLedger(name, cfg, ids, tables, wall)
+		l.Benchmarks = benchResults
 		if err := bench.WriteLedgerFile(*jsonOut, l); err != nil {
 			fmt.Fprintln(os.Stderr, "shahin-bench: writing ledger:", err)
 			os.Exit(1)

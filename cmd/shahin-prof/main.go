@@ -1,0 +1,242 @@
+// Command shahin-prof runs one bench experiment under Go's execution
+// profilers and turns the raw profiles into ledger-recordable top-N
+// hot-function tables, using the stdlib-only pprof decoder in
+// internal/prof (no `go tool pprof` required).
+//
+// Usage:
+//
+//	shahin-prof                          # profile the CI smoke experiment
+//	shahin-prof -exp fig3 -top 20        # profile a paper experiment
+//	shahin-prof -mutex -block            # add contention profiles
+//	shahin-prof -bench -json BENCH_prof.json   # CI artifact with hotpath benchmarks
+//
+// CPU and heap profiles are on by default; mutex and block profiles
+// are opt-in because their collection rates perturb the workload. The
+// raw .pb.gz files land in -dir for offline `go tool pprof` sessions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"shahin/internal/bench"
+	"shahin/internal/obs"
+	"shahin/internal/prof"
+)
+
+// profileSpec describes one collected profile: its pprof lookup name,
+// the sample-value type to rank by, and how the table labels it.
+type profileSpec struct {
+	kind      string // file stem and table label
+	valueType string // preferred Sample value dimension (see prof.Profile.ValueIndex)
+	path      string
+}
+
+func main() {
+	var (
+		exp           = flag.String("exp", "smoke", "experiment id to profile (see shahin-bench -list)")
+		seed          = flag.Int64("seed", 1, "master seed")
+		dir           = flag.String("dir", "prof", "directory the raw .pb.gz profiles are written to")
+		topN          = flag.Int("top", 10, "hot functions reported per profile")
+		cpu           = flag.Bool("cpu", true, "collect a CPU profile")
+		heap          = flag.Bool("heap", true, "collect a heap allocation profile")
+		mutex         = flag.Bool("mutex", false, "collect a mutex-contention profile")
+		block         = flag.Bool("block", false, "collect a goroutine-blocking profile")
+		blockRate     = flag.Int("block-rate", 10000, "runtime.SetBlockProfileRate argument (ns) while -block is set")
+		mutexFraction = flag.Int("mutex-fraction", 5, "runtime.SetMutexProfileFraction argument while -mutex is set")
+		benchFlag     = flag.Bool("bench", false, "also run the hotpath -benchmem benchmarks (after profiling stops, so they are unperturbed) and record them in the ledger")
+		jsonOut       = flag.String("json", "", "write the run ledger (tables, runtime telemetry, benchmarks) to this file when done")
+		runtimeSample = flag.Duration("runtime-sample", 100*time.Millisecond, "runtime telemetry sampling interval (heap, GC, goroutines, sched latency); 0 disables")
+	)
+	flag.Parse()
+
+	e, ok := bench.LookupExperiment(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "shahin-prof: unknown experiment %q (see shahin-bench -list)\n", *exp)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "shahin-prof:", err)
+		os.Exit(1)
+	}
+
+	rec := obs.NewRecorder()
+	if *runtimeSample > 0 {
+		rec.StartRuntimeSampling(*runtimeSample)
+	}
+	var cfg bench.Config
+	if *exp == "smoke" {
+		cfg = bench.SmokeConfig(*seed)
+	} else {
+		cfg = bench.Config{Seed: *seed}.Fill()
+	}
+	cfg.Recorder = rec
+
+	// Contention profiling rates are armed before the workload and
+	// disarmed right after it, so the benchmarks below run unperturbed.
+	if *mutex {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *block {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+
+	var cpuFile *os.File
+	var specs []profileSpec
+	if *cpu {
+		path := filepath.Join(*dir, "cpu.pb.gz")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-prof:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-prof: starting CPU profile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+		specs = append(specs, profileSpec{kind: "cpu", valueType: "cpu", path: path})
+	}
+
+	start := time.Now() //shahinvet:allow walltime — run wall time recorded in the ledger
+	tab, runErr := e.Run(cfg)
+	wall := time.Since(start)
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-prof:", err)
+			os.Exit(1)
+		}
+	}
+	if *mutex {
+		runtime.SetMutexProfileFraction(0)
+	}
+	if *block {
+		runtime.SetBlockProfileRate(0)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "shahin-prof: %s: %v\n", *exp, runErr)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
+
+	if *heap {
+		// A forced GC first, so alloc_space covers everything the run
+		// allocated rather than whatever happens to be live.
+		runtime.GC()
+		specs = append(specs, writeLookup(*dir, "heap", "alloc_space", "heap"))
+	}
+	if *mutex {
+		specs = append(specs, writeLookup(*dir, "mutex", "delay", "mutex"))
+	}
+	if *block {
+		specs = append(specs, writeLookup(*dir, "block", "delay", "block"))
+	}
+
+	tables := []*bench.Table{tab}
+	for _, spec := range specs {
+		t, err := topTable(spec, *topN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shahin-prof: decoding %s profile: %v\n", spec.kind, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		tables = append(tables, t)
+	}
+
+	var benchResults []obs.BenchmarkResult
+	if *benchFlag {
+		results, err := bench.HotpathResults(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-prof: hotpath benchmarks:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nhotpath benchmarks (-benchmem):")
+		for _, r := range results {
+			fmt.Printf("  %-34s %12.1f ns/op %10d B/op %8d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		benchResults = results
+	}
+
+	// Stop before snapshotting so the ledger's runtime section carries a
+	// final sample covering the whole profiled run.
+	rec.StopRuntimeSampling()
+
+	if *jsonOut != "" {
+		l := bench.BuildLedger("prof-"+*exp, cfg, []string{*exp}, tables, wall)
+		l.Benchmarks = benchResults
+		if err := bench.WriteLedgerFile(*jsonOut, l); err != nil {
+			fmt.Fprintln(os.Stderr, "shahin-prof: writing ledger:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("run ledger written to %s\n", *jsonOut)
+	}
+}
+
+// writeLookup dumps the named runtime profile into dir as gzipped
+// protobuf (debug=0) and returns its spec for decoding.
+func writeLookup(dir, name, valueType, kind string) profileSpec {
+	path := filepath.Join(dir, name+".pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shahin-prof:", err)
+		os.Exit(1)
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "shahin-prof: no runtime profile named %q\n", name)
+		os.Exit(1)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close() //shahinvet:allow errcheck — close error is secondary; the write error wins
+		fmt.Fprintf(os.Stderr, "shahin-prof: writing %s profile: %v\n", name, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "shahin-prof:", err)
+		os.Exit(1)
+	}
+	return profileSpec{kind: kind, valueType: valueType, path: path}
+}
+
+// topTable decodes one raw profile and renders its top-N hot functions
+// by flat value.
+func topTable(spec profileSpec, n int) (*bench.Table, error) {
+	data, err := os.ReadFile(spec.path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := prof.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	idx := p.ValueIndex(spec.valueType)
+	unit := spec.valueType
+	if idx < 0 {
+		// Fall back to the profile's last value dimension (the
+		// conventional default_sample_type slot).
+		idx = len(p.SampleTypes) - 1
+	}
+	if idx >= 0 && idx < len(p.SampleTypes) {
+		unit = p.SampleTypes[idx].Unit
+	}
+	rows := p.Top(idx, n)
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Profile %s (%s): top %d functions by flat %s", spec.kind, filepath.Base(spec.path), n, unit),
+		Header: []string{"Function", "Flat (" + unit + ")", "Cum (" + unit + ")"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%d", r.Flat), fmt.Sprintf("%d", r.Cum))
+	}
+	if len(rows) == 0 {
+		t.AddNote("profile recorded no samples at this workload scale")
+	}
+	return t, nil
+}

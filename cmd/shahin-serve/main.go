@@ -59,8 +59,9 @@ func main() {
 		storePath   = flag.String("store", "", "explanation-store snapshot: loaded at startup, written on graceful shutdown")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight flushes")
 
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address (\":0\" picks a port)")
-		eventsOut = flag.String("events-out", "", "write the structured event log as JSONL on shutdown")
+		obsAddr       = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address (\":0\" picks a port)")
+		eventsOut     = flag.String("events-out", "", "write the structured event log as JSONL on shutdown")
+		runtimeSample = flag.Duration("runtime-sample", time.Second, "runtime telemetry sampling interval (heap, GC, goroutines, sched latency); 0 disables")
 
 		sloWindow    = flag.Duration("slo-window", 5*time.Minute, "rolling window for SLO tracking (0 disables the tracker)")
 		sloLatTarget = flag.Duration("slo-latency-target", 250*time.Millisecond, "latency objective: requests slower than this count against the goal")
@@ -82,6 +83,10 @@ func main() {
 	// slow-request ring, and SLO tracking need a recorder even when no
 	// observability endpoint is mounted.
 	rec := shahin.NewRecorder()
+	if *runtimeSample > 0 {
+		rec.StartRuntimeSampling(*runtimeSample)
+		defer rec.StopRuntimeSampling()
+	}
 	if *sloWindow > 0 {
 		rec.SetSLO(obs.NewSLOTracker(obs.SLOConfig{
 			Window:           *sloWindow,

@@ -129,6 +129,8 @@ func CompareFiles(w io.Writer, prevPath, currPath string, th obs.Thresholds) int
 	}
 	t.AddNote("gated metrics: %s (max +%.0f%%), reuse_ratio (max -%.3f), wall_ms (max +%.0f%%), slo compliance (max -%.3f, when the baseline has SLO data)",
 		obs.CounterInvocations, 100*th.Invocations, th.Reuse, 100*th.Wall, th.SLO)
+	t.AddNote("when the baseline carries them: per-benchmark allocs/op (max +%.0f%%), bytes/op (max +%.0f%%), and gc_cpu_fraction (max +%.3f absolute)",
+		100*th.AllocsPerOp, 100*th.BytesPerOp, th.GCCPU)
 	t.Fprint(w)
 	if regressed {
 		fmt.Fprintln(w, "verdict: REGRESSION")

@@ -199,3 +199,54 @@ func TestLedgerFileRoundTrip(t *testing.T) {
 		t.Fatal("fingerprint missing")
 	}
 }
+
+// TestCompareFilesAllocRegression: an injected 2x allocs/op on one
+// hotpath benchmark fails the file-level compare (the CI gate), and a
+// schema-2-style baseline without benchmark data never fires the gate.
+func TestCompareFilesAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	l := &obs.RunLedger{
+		Schema: obs.LedgerSchemaVersion,
+		Name:   "alloc-gate",
+		Metrics: obs.Metrics{
+			Counters: map[string]int64{obs.CounterInvocations: 100},
+		},
+		Benchmarks: []obs.BenchmarkResult{
+			{Name: "perturb.(*Generator).ForItemset", Runs: 1000, NsPerOp: 1800, AllocsPerOp: 100, BytesPerOp: 4096},
+		},
+	}
+	base := filepath.Join(dir, "base.json")
+	if err := WriteLedgerFile(base, l); err != nil {
+		t.Fatal(err)
+	}
+	worse := *l
+	worse.Benchmarks = []obs.BenchmarkResult{
+		{Name: "perturb.(*Generator).ForItemset", Runs: 1000, NsPerOp: 1800, AllocsPerOp: 200, BytesPerOp: 4096},
+	}
+	worseFile := filepath.Join(dir, "worse.json")
+	if err := WriteLedgerFile(worseFile, &worse); err != nil {
+		t.Fatal(err)
+	}
+	th := obs.Thresholds{Invocations: 10, Wall: 10, Reuse: 1, AllocsPerOp: 0.5, BytesPerOp: 0.5, GCCPU: 0.25}
+
+	var out bytes.Buffer
+	if code := CompareFiles(&out, base, worseFile, th); code != CompareRegressed {
+		t.Fatalf("2x allocs/op exit %d, want %d\n%s", code, CompareRegressed, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs_per_op") || !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("alloc regression not called out:\n%s", out.String())
+	}
+
+	// The same fresh run against a benchmark-less baseline compares ok.
+	old := *l
+	old.Schema = 2
+	old.Benchmarks = nil
+	oldFile := filepath.Join(dir, "old.json")
+	if err := WriteLedgerFile(oldFile, &old); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := CompareFiles(&out, oldFile, worseFile, th); code != CompareOK {
+		t.Fatalf("schema-2 baseline exit %d, want %d\n%s", code, CompareOK, out.String())
+	}
+}

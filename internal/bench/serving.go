@@ -260,6 +260,12 @@ func Serving(cfg Config) (*Table, error) {
 	if rep.ReusedSamples == 0 {
 		return nil, fmt.Errorf("serving: zero cross-request sample reuse")
 	}
+	// The run is instrumented, so steady-state allocation attribution
+	// must have been recorded: zero means the MemStats-delta accounting
+	// around flush/pool/solve went missing, not that serving was free.
+	if rep.AllocBytes == 0 {
+		return nil, fmt.Errorf("serving: no allocation attribution recorded (alloc_bytes = 0)")
+	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	q := func(p float64) float64 {
@@ -283,6 +289,9 @@ func Serving(cfg Config) (*Table, error) {
 	t.AddRow("request p95 (ms)", f2(q(0.95)))
 	t.AddRow("request p99 (ms)", f2(q(0.99)))
 	t.AddRow("reuse ratio", f3(rep.ReuseRate()))
+	allocBytes, allocObjs := rep.AllocPerTuple()
+	t.AddRow("alloc bytes/explanation", f2(allocBytes))
+	t.AddRow("alloc objects/explanation", f2(allocObjs))
 	t.AddRow("classifier invocations", fmt.Sprintf("%d", rep.Invocations))
 	t.AddRow("degraded / failed", fmt.Sprintf("%d / %d", rep.Degraded, rep.Failed))
 	if st, ok := rec.SLOStatus(); ok {

@@ -73,6 +73,13 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 	fb := buildBridge(ctx, opts, b.st, b.cls)
 	rec.Gauge(obs.GaugeTuplesTotal).Set(int64(len(tuples)))
 
+	// Allocation attribution mirrors the stage clocks: one mark around
+	// the whole run, one around mine + pool build, one around explain.
+	var runMark obs.AllocMark
+	if rec != nil {
+		runMark = obs.NowAllocs()
+	}
+
 	// Step 1 (overhead): itemise a uniform sample of the batch and mine
 	// frequent itemsets — max(1000, 1%) per the paper's heuristic.
 	mineSpan := root.Child(obs.StageMine)
@@ -175,6 +182,12 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 	}
 	poolInv := eng.invocations()
 	poolTime := time.Since(poolStart)
+	var poolAlloc obs.AllocDelta
+	if rec != nil {
+		// The mark at run start also covers mining; folding mine into
+		// the pool column matches how OverheadTime accounts the stage.
+		poolAlloc = runMark.Since()
+	}
 	preLabelSpan.End()
 	poolSpan.SetAttr("pool_invocations", poolInv)
 	poolSpan.End()
@@ -192,9 +205,15 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 		PoolTime:         poolTime,
 		PoolInvocations:  poolInv,
 		FrequentItemsets: len(frequent),
+		PoolAllocBytes:   poolAlloc.Bytes,
+		PoolAllocObjects: poolAlloc.Objects,
 	}
 	explainSpan := root.Child(obs.StageExplain)
 	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
+	var explainMark obs.AllocMark
+	if rec != nil {
+		explainMark = obs.NowAllocs()
+	}
 	var (
 		tupleHist *obs.Histogram
 		doneCtr   *obs.Counter
@@ -281,6 +300,10 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 		}
 	}
 	rep.ExplainTime = time.Since(explainStart)
+	if rec != nil {
+		d := explainMark.Since()
+		rep.ExplainAllocBytes, rep.ExplainAllocObjects = d.Bytes, d.Objects
+	}
 	explainSpan.End()
 	if repo != nil {
 		rep.Cache = repo.Stats()
@@ -300,6 +323,10 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 		rep.Retries = fb.chain.Stats().Retries
 	}
 	rep.WallTime = time.Since(start)
+	if rec != nil {
+		d := runMark.Since()
+		rep.AllocBytes, rep.AllocObjects = d.Bytes, d.Objects
+	}
 	return &Result{Explanations: out, Report: rep, Breakdowns: bds}, ctx.Err()
 }
 

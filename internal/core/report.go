@@ -65,6 +65,35 @@ type Report struct {
 	// tuples cancelled, never attempted, or unanswerable by any fallback.
 	Degraded int
 	Failed   int
+
+	// AllocBytes / AllocObjects is the heap allocation activity during
+	// the run, measured from runtime/metrics deltas around the run when
+	// a recorder is attached (zero — and omitted from JSON — otherwise,
+	// so uninstrumented runs serialise byte-identically). The counters
+	// are process-wide: on the gate-serialised flush paths that is the
+	// run's own work plus whatever background goroutines allocate, which
+	// is the documented precision of these columns.
+	AllocBytes   int64
+	AllocObjects int64
+	// PoolAllocBytes / PoolAllocObjects covers the mine + pool-build
+	// stage; ExplainAllocBytes / ExplainAllocObjects the per-tuple
+	// explain loop — the allocation mirror of MineTime+PoolTime and
+	// ExplainTime.
+	PoolAllocBytes      int64
+	PoolAllocObjects    int64
+	ExplainAllocBytes   int64
+	ExplainAllocObjects int64
+}
+
+// AllocPerTuple returns the average heap bytes and objects allocated
+// per explanation (zero for an empty or uninstrumented run) — the
+// steady-state number the zero-alloc perturbation work gates on.
+func (r *Report) AllocPerTuple() (bytes, objects float64) {
+	if r.Tuples == 0 {
+		return 0, 0
+	}
+	n := float64(r.Tuples)
+	return float64(r.AllocBytes) / n, float64(r.AllocObjects) / n
 }
 
 // OverheadFraction returns OverheadTime / WallTime (the paper's Figure 5
@@ -131,6 +160,16 @@ type reportJSON struct {
 	Retries          int64       `json:"retries,omitempty"`
 	Degraded         int         `json:"degraded_tuples,omitempty"`
 	Failed           int         `json:"failed_tuples,omitempty"`
+	// Allocation columns (omitted when the run was uninstrumented, so
+	// pre-existing reports stay byte-identical). The per-tuple bytes
+	// figure is derived on marshal and not read back.
+	AllocBytes          int64   `json:"alloc_bytes,omitempty"`
+	AllocObjects        int64   `json:"alloc_objects,omitempty"`
+	AllocBytesPerTuple  float64 `json:"alloc_bytes_per_tuple,omitempty"`
+	PoolAllocBytes      int64   `json:"pool_alloc_bytes,omitempty"`
+	PoolAllocObjects    int64   `json:"pool_alloc_objects,omitempty"`
+	ExplainAllocBytes   int64   `json:"explain_alloc_bytes,omitempty"`
+	ExplainAllocObjects int64   `json:"explain_alloc_objects,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with the flat reportJSON shape.
@@ -166,6 +205,16 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		Retries:          r.Retries,
 		Degraded:         r.Degraded,
 		Failed:           r.Failed,
+		AllocBytes:       r.AllocBytes,
+		AllocObjects:     r.AllocObjects,
+		AllocBytesPerTuple: func() float64 {
+			b, _ := r.AllocPerTuple()
+			return b
+		}(),
+		PoolAllocBytes:      r.PoolAllocBytes,
+		PoolAllocObjects:    r.PoolAllocObjects,
+		ExplainAllocBytes:   r.ExplainAllocBytes,
+		ExplainAllocObjects: r.ExplainAllocObjects,
 	})
 }
 
@@ -193,6 +242,13 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Retries:          j.Retries,
 		Degraded:         j.Degraded,
 		Failed:           j.Failed,
+
+		AllocBytes:          j.AllocBytes,
+		AllocObjects:        j.AllocObjects,
+		PoolAllocBytes:      j.PoolAllocBytes,
+		PoolAllocObjects:    j.PoolAllocObjects,
+		ExplainAllocBytes:   j.ExplainAllocBytes,
+		ExplainAllocObjects: j.ExplainAllocObjects,
 	}
 	return nil
 }
@@ -224,6 +280,12 @@ func (r *Report) String() string {
 	if r.Retries > 0 || r.Degraded > 0 || r.Failed > 0 {
 		fmt.Fprintf(&b, "\nrobustness: %d retries · %d degraded tuples · %d failed tuples",
 			r.Retries, r.Degraded, r.Failed)
+	}
+	if r.AllocBytes > 0 {
+		perBytes, perObjs := r.AllocPerTuple()
+		fmt.Fprintf(&b, "\nallocation: %s total (%s/tuple, %.0f objects/tuple); pool %s · explain %s",
+			formatBytes(r.AllocBytes), formatBytes(int64(perBytes)), perObjs,
+			formatBytes(r.PoolAllocBytes), formatBytes(r.ExplainAllocBytes))
 	}
 	return b.String()
 }

@@ -147,6 +147,12 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	// byte-identical explanations regardless of wall-clock timing.
 	rng := rand.New(rand.NewSource(opts.Seed + 104729*int64(flush)))
 	rec := opts.Recorder
+	// Allocation attribution mirrors the stage clocks: one mark around
+	// the whole flush, one around each stage (remine takes its own).
+	var runMark obs.AllocMark
+	if rec != nil {
+		runMark = obs.NowAllocs()
+	}
 	root := rec.StartSpan(obs.StageWarmFlush)
 	root.SetAttr("tuples", len(tuples))
 	root.SetAttr("flush", flush)
@@ -184,6 +190,10 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	// Explain the flush against the (now fresh enough) warm pool.
 	explainSpan := root.Child(obs.StageExplain)
 	explainStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
+	var explainMark obs.AllocMark
+	if rec != nil {
+		explainMark = obs.NowAllocs()
+	}
 	out := make([]Explanation, len(tuples))
 	var bds []obs.StageBreakdown
 	if rec != nil {
@@ -201,6 +211,10 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 		}
 	}
 	rep.ExplainTime = time.Since(explainStart)
+	if rec != nil {
+		d := explainMark.Since()
+		rep.ExplainAllocBytes, rep.ExplainAllocObjects = d.Bytes, d.Objects
+	}
 	explainSpan.End()
 	w.since += len(tuples)
 
@@ -222,6 +236,14 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 		rep.Retries = fb.chain.Stats().Retries
 	}
 	rep.WallTime = time.Since(start)
+	if rec != nil {
+		d := runMark.Since()
+		rep.AllocBytes, rep.AllocObjects = d.Bytes, d.Objects
+		// Pool occupancy is owned by the gate holder, so the flush sets
+		// the gauge itself rather than having scrapes contend for the
+		// gate the way PooledItemsets does.
+		rec.Gauge(obs.GaugeWarmPooledItemsets).Set(int64(sampleRepo(w.repo, w.sh).Len()))
+	}
 	w.accumulate(rep)
 	return &Result{Explanations: out, Report: rep, Breakdowns: bds, Flush: flush}, ctx.Err()
 }
@@ -333,6 +355,10 @@ func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float6
 func (w *Warm) remine(ctx context.Context, eng *engine, rng *rand.Rand, root *obs.Span, rep *Report) {
 	opts := w.opts
 	rec := opts.Recorder
+	var poolMark obs.AllocMark
+	if rec != nil {
+		poolMark = obs.NowAllocs()
+	}
 	mineSpan := root.Child(obs.StageMine)
 	mineStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	rows := w.window
@@ -394,6 +420,10 @@ func (w *Warm) remine(ctx context.Context, eng *engine, rng *rand.Rand, root *ob
 	}
 	rep.PoolTime = time.Since(poolStart)
 	rep.PoolInvocations = eng.invocations() - inv0
+	if rec != nil {
+		d := poolMark.Since()
+		rep.PoolAllocBytes, rep.PoolAllocObjects = d.Bytes, d.Objects
+	}
 	preLabelSpan.End()
 	poolSpan.SetAttr("pool_invocations", rep.PoolInvocations)
 	poolSpan.End()
@@ -479,6 +509,12 @@ func (w *Warm) accumulate(rep Report) {
 	c.Retries += rep.Retries
 	c.Degraded += rep.Degraded
 	c.Failed += rep.Failed
+	c.AllocBytes += rep.AllocBytes
+	c.AllocObjects += rep.AllocObjects
+	c.PoolAllocBytes += rep.PoolAllocBytes
+	c.PoolAllocObjects += rep.PoolAllocObjects
+	c.ExplainAllocBytes += rep.ExplainAllocBytes
+	c.ExplainAllocObjects += rep.ExplainAllocObjects
 }
 
 // Report returns the cost accounting accumulated across every flush.

@@ -191,3 +191,38 @@ func TestWarmEmitsRemineEvents(t *testing.T) {
 		t.Fatalf("tuple_explained events = %d, want %d", explained, len(env.tuples))
 	}
 }
+
+// TestWarmPoolOccupancyGauge: each instrumented flush publishes the
+// pool's itemset count into the occupancy gauge, and it agrees with
+// PooledItemsets.
+func TestWarmPoolOccupancyGauge(t *testing.T) {
+	env := newEnv(t, 71, 30)
+	rec := obs.NewRecorder()
+	opts := smallOpts(LIME, 72)
+	opts.Recorder = rec
+	w, err := NewWarm(env.st, env.cls, opts, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rec.Gauge(obs.GaugeWarmPooledItemsets)
+	if g.Value() != 0 {
+		t.Fatalf("gauge before any flush = %d, want 0", g.Value())
+	}
+	if _, err := w.ExplainAll(env.tuples[:15]); err != nil {
+		t.Fatal(err)
+	}
+	got := g.Value()
+	if got <= 0 {
+		t.Fatalf("gauge after first flush = %d, want positive", got)
+	}
+	if want := w.PooledItemsets(); got != int64(want) {
+		t.Fatalf("gauge = %d, PooledItemsets = %d", got, want)
+	}
+	// A second flush over the warm pool republishes the same occupancy.
+	if _, err := w.ExplainAll(env.tuples[15:30]); err != nil {
+		t.Fatal(err)
+	}
+	if g.Value() != int64(w.PooledItemsets()) {
+		t.Fatalf("gauge after second flush = %d, PooledItemsets = %d", g.Value(), w.PooledItemsets())
+	}
+}

@@ -1,0 +1,45 @@
+package lime
+
+// Benchmark sinks: package-level so the compiler cannot dead-code-
+// eliminate the hotpath calls the closures below exist to measure.
+var (
+	benchSinkInts  []int
+	benchSinkFloat float64
+)
+
+// HotpathBenchBodies returns benchmark bodies for this package's
+// //shahin:hotpath functions, keyed by qualified function name. Both
+// hot functions here are unexported (they are implementation details
+// of the surrogate fit), so the allocation-benchmark harness in
+// internal/bench reaches them through this hook instead of reflection.
+// p is the attribute count of the synthetic inputs; each body runs its
+// function n times.
+func HotpathBenchBodies(p int) map[string]func(n int) {
+	if p < 2 {
+		p = 2
+	}
+	// kernel reads only cfg.KernelWidth, so a bare Explainer with
+	// filled defaults is a faithful harness.
+	e := &Explainer{cfg: Config{}.fill(p)}
+	z := make([]float64, p)
+	v := make([]float64, p)
+	for i := range z {
+		if i%2 == 0 {
+			z[i] = 1
+		}
+		v[i] = float64((i*7)%13) - 6
+	}
+	k := p / 2
+	return map[string]func(n int){
+		"lime.topKByAbs": func(n int) {
+			for i := 0; i < n; i++ {
+				benchSinkInts = topKByAbs(v, k)
+			}
+		},
+		"lime.(*Explainer).kernel": func(n int) {
+			for i := 0; i < n; i++ {
+				benchSinkFloat = e.kernel(z)
+			}
+		},
+	}
+}

@@ -235,6 +235,7 @@ func BenchmarkExplainSequential(b *testing.B) {
 	}
 	e := New(st, attr0Classifier(1), Config{NumSamples: 500}, rand.New(rand.NewSource(19)))
 	tup := []float64{1, 0, 0.5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Explain(tup); err != nil {
@@ -278,5 +279,38 @@ func TestTopKByAbs(t *testing.T) {
 	got := topKByAbs([]float64{0.1, -5, 2, 0}, 2)
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("topKByAbs=%v", got)
+	}
+}
+
+// Sinks defeating dead-code elimination in the hotpath benchmarks.
+var (
+	benchTopK   []int
+	benchKernel float64
+)
+
+func BenchmarkTopKByAbs(b *testing.B) {
+	const p = 40
+	v := make([]float64, p)
+	for i := range v {
+		v[i] = float64((i*7)%13) - 6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTopK = topKByAbs(v, p/2)
+	}
+}
+
+func BenchmarkKernel(b *testing.B) {
+	const p = 40
+	e := &Explainer{cfg: Config{}.fill(p)}
+	z := make([]float64, p)
+	for i := range z {
+		z[i] = float64(i % 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchKernel = e.kernel(z)
 	}
 }

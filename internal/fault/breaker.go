@@ -64,6 +64,7 @@ type Breaker struct {
 	rec         *obs.Recorder
 	opensCtr    *obs.Counter
 	rejectedCtr *obs.Counter
+	stateGauge  *obs.Gauge
 }
 
 // NewBreaker wraps inner with a circuit breaker per cfg.
@@ -77,7 +78,11 @@ func NewBreaker(inner FallibleClassifier, cfg Config, rec *obs.Recorder) *Breake
 		rec:           rec,
 		opensCtr:      ctrs.opens,
 		rejectedCtr:   ctrs.rejected,
+		stateGauge:    rec.Gauge(obs.GaugeBreakerState),
 	}
+	// Publish the initial (closed) state so scrapes can tell "closed"
+	// from "no breaker in the chain" by the gauge's presence.
+	b.stateGauge.Set(int64(BreakerClosed))
 	if b.threshold <= 0 {
 		b.threshold = 5
 	}
@@ -157,6 +162,7 @@ func (b *Breaker) open(ctx context.Context) {
 func (b *Breaker) transition(ctx context.Context, to BreakerState) {
 	from := b.state
 	b.state = to
+	b.stateGauge.Set(int64(to))
 	edge := from.String() + "->" + to.String()
 	b.rec.Emit(obs.Event{
 		Type:  obs.EventBreakerState,

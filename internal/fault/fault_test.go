@@ -404,3 +404,49 @@ func TestChainConcurrentCalls(t *testing.T) {
 		t.Errorf("obs counter %d != chain stat %d", got, ch.Stats().Injected)
 	}
 }
+
+// TestBreakerStateGauge: the breaker mirrors every transition into the
+// Prometheus state gauge (0 closed, 1 open, 2 half-open), starting from
+// an explicit 0 at construction.
+func TestBreakerStateGauge(t *testing.T) {
+	rec := obs.NewRecorder()
+	g := rec.Gauge(obs.GaugeBreakerState)
+	inner := &scripted{errs: []error{ErrInjected, ErrInjected, ErrInjected}}
+	b := NewBreaker(inner, Config{BreakerThreshold: 2, BreakerCooldownCalls: 1}, rec)
+	if g.Value() != int64(BreakerClosed) {
+		t.Fatalf("gauge at construction = %d, want %d (closed)", g.Value(), BreakerClosed)
+	}
+	b.PredictCtx(context.Background(), nil) //shahinvet:allow errcheck — driving the breaker
+	b.PredictCtx(context.Background(), nil) //shahinvet:allow errcheck — second failure opens
+	if g.Value() != int64(BreakerOpen) {
+		t.Fatalf("gauge after opening = %d, want %d (open)", g.Value(), BreakerOpen)
+	}
+	b.PredictCtx(context.Background(), nil) //shahinvet:allow errcheck — rejection burns the cooldown
+	// Next call probes half-open; the third scripted error fails the
+	// probe, but the gauge must have passed through half-open first. The
+	// probe transition is synchronous, so observe the final reopened
+	// state and the transition events for the half-open hop.
+	b.PredictCtx(context.Background(), nil) //shahinvet:allow errcheck — failing probe
+	if g.Value() != int64(BreakerOpen) {
+		t.Fatalf("gauge after failed probe = %d, want %d (open)", g.Value(), BreakerOpen)
+	}
+	events, _ := rec.Events()
+	var sawHalfOpen bool
+	for _, e := range events {
+		if e.Type == obs.EventBreakerState && e.State == "open->half-open" {
+			sawHalfOpen = true
+		}
+	}
+	if !sawHalfOpen {
+		t.Error("no half-open transition event recorded")
+	}
+	// A successful probe closes the breaker and zeroes the gauge.
+	inner.errs = nil
+	b.PredictCtx(context.Background(), nil) //shahinvet:allow errcheck — rejection burns the cooldown
+	if _, err := b.PredictCtx(context.Background(), nil); err != nil {
+		t.Fatalf("recovered probe err=%v", err)
+	}
+	if g.Value() != int64(BreakerClosed) {
+		t.Fatalf("gauge after recovery = %d, want %d (closed)", g.Value(), BreakerClosed)
+	}
+}

@@ -289,10 +289,53 @@ func BenchmarkRidge1000x40(b *testing.B) {
 		}
 		y[i] = rng.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Ridge(X, y, nil, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSolveVec keeps the compiler from eliding the Solve benchmark.
+var benchSolveVec []float64
+
+func BenchmarkSymSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const p = 24
+	// A well-conditioned SPD system: A = MᵀM + I.
+	M := make([][]float64, p)
+	for i := range M {
+		M[i] = make([]float64, p)
+		for j := range M[i] {
+			M[i][j] = rng.NormFloat64()
+		}
+	}
+	A := NewSym(p)
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			var dot float64
+			for k := 0; k < p; k++ {
+				dot += M[k][i] * M[k][j]
+			}
+			if i == j {
+				dot++
+			}
+			A.Set(i, j, dot)
+		}
+	}
+	rhs := make([]float64, p)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := A.Solve(rhs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSolveVec = x
 	}
 }

@@ -40,6 +40,16 @@ const (
 	// EventServeDrain records a graceful drain: Itemsets carries the
 	// number of queued requests flushed on the way out.
 	EventServeDrain EventType = "serve_drain"
+	// EventGCCycle records garbage collection observed by the runtime
+	// sampler between two ticks: Itemsets carries the number of cycles
+	// completed, Bytes the live heap after the tick, and DurMS the
+	// largest pause folded in during the tick.
+	EventGCCycle EventType = "gc_cycle"
+	// EventHeapSample is a periodic (decimated — see the runtime
+	// sampler's stride constants) heap snapshot: Bytes carries the live
+	// heap, Goroutines the goroutine count. Chrome traces render these
+	// as counter tracks under the request spans.
+	EventHeapSample EventType = "heap_sample"
 )
 
 // Event is one entry of the run's structured event log. Fields are a
@@ -62,6 +72,11 @@ type Event struct {
 	Fresh     int64   `json:"fresh_samples,omitempty"`
 	CacheHits int64   `json:"cache_hits,omitempty"`
 	DurMS     float64 `json:"dur_ms,omitempty"`
+	// Bytes is a byte quantity: the live heap of a gc_cycle or
+	// heap_sample event.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Goroutines rides heap_sample events.
+	Goroutines int64 `json:"goroutines,omitempty"`
 	// State is a breaker_state transition edge ("closed->open").
 	State string `json:"state,omitempty"`
 	// Status marks a tuple_explained event whose tuple was answered

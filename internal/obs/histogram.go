@@ -62,6 +62,36 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// observeBucketed folds n observations of approximately ns nanoseconds
+// into the histogram in one shot — the runtime sampler uses it to
+// replay runtime/metrics bucket-count deltas (which can be thousands of
+// scheduler-latency events per tick) without n individual Observes.
+// Bucket placement, min/max, count, and sum all update as if Observe
+// had been called n times with ns.
+func (h *Histogram) observeBucketed(ns, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(n)
+	h.sum.Add(ns * n)
+	h.buckets[bucketOf(ns)].Add(n)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -78,9 +108,11 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sum.Load())
 }
 
-// Quantile estimates the q-th quantile (0 < q <= 1) at bucket
-// resolution: the upper bound of the bucket holding the q-th ranked
-// observation, clamped to the observed max. Returns 0 when empty.
+// Quantile estimates the q-th quantile at bucket resolution: the upper
+// bound of the bucket holding the q-th ranked observation, clamped into
+// the observed [min, max] so a single-sample histogram answers that
+// sample for every q. q is clamped to [0, 1]: q <= 0 returns the
+// observed min, q >= 1 the observed max. Returns 0 when empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
@@ -88,6 +120,12 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	if q <= 0 || math.IsNaN(q) {
+		return time.Duration(h.min.Load())
+	}
+	if q >= 1 {
+		return time.Duration(h.max.Load())
 	}
 	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
@@ -99,6 +137,9 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		if cum >= rank {
 			upper := int64(1)<<uint(i) - 1
 			if m := h.max.Load(); upper > m {
+				upper = m
+			}
+			if m := h.min.Load(); upper < m {
 				upper = m
 			}
 			return time.Duration(upper)
@@ -129,13 +170,22 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
-// Quantile re-estimates the q-th quantile (0 < q <= 1) from the
-// snapshot's buckets, with the same bucket-resolution semantics as
+// Quantile re-estimates the q-th quantile from the snapshot's buckets,
+// with the same bucket-resolution and clamping semantics as
 // Histogram.Quantile — so ledger readers can compute any quantile, not
-// just the pre-serialized three. Returns 0 when empty.
+// just the pre-serialized three. q is clamped to [0, 1]: q <= 0 returns
+// MinNS, q >= 1 MaxNS, and bucket answers land inside [MinNS, MaxNS]
+// (a single-sample snapshot answers that sample for every q). Returns
+// 0 when empty.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
+	}
+	if q <= 0 || math.IsNaN(q) {
+		return time.Duration(s.MinNS)
+	}
+	if q >= 1 {
+		return time.Duration(s.MaxNS)
 	}
 	rank := int64(math.Ceil(q * float64(s.Count)))
 	if rank < 1 {
@@ -148,6 +198,9 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 			upper := b.UpperNS
 			if upper > s.MaxNS {
 				upper = s.MaxNS
+			}
+			if upper < s.MinNS {
+				upper = s.MinNS
 			}
 			return time.Duration(upper)
 		}

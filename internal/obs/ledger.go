@@ -11,8 +11,9 @@ import (
 )
 
 // LedgerSchemaVersion stamps every ledger so future readers can detect
-// old artifacts. Version 2 added the SLO table; readers accept 1..2.
-const LedgerSchemaVersion = 2
+// old artifacts. Version 2 added the SLO table; version 3 the runtime
+// telemetry and hotpath benchmark sections; readers accept 1..3.
+const LedgerSchemaVersion = 3
 
 // EnvFingerprint pins the environment a ledger was produced on, so a
 // regression diff can tell an algorithmic change from a hardware or
@@ -71,8 +72,33 @@ type RunLedger struct {
 	// SLO is the rolling-window objective evaluation at ledger time,
 	// present when the run's recorder had an SLO tracker attached
 	// (schema ≥ 2). CompareLedgers gates on per-objective compliance.
-	SLO           *SLOStatus `json:"slo,omitempty"`
-	EventsDropped int64      `json:"events_dropped"`
+	SLO *SLOStatus `json:"slo,omitempty"`
+	// Runtime is the runtime telemetry summary, present when the run's
+	// recorder had a RuntimeSampler attached (schema ≥ 3).
+	// CompareLedgers gates on the GC CPU fraction when the baseline
+	// carries it.
+	Runtime *RuntimeStatus `json:"runtime,omitempty"`
+	// Benchmarks holds the hotpath micro-benchmark results (schema ≥ 3);
+	// the caller attaches them (see the bench layer's hotpath harness).
+	// CompareLedgers gates allocs/op and bytes/op per benchmark when the
+	// baseline carries them.
+	Benchmarks    []BenchmarkResult `json:"benchmarks,omitempty"`
+	EventsDropped int64             `json:"events_dropped"`
+}
+
+// BenchmarkResult is one hotpath micro-benchmark measurement: the
+// -benchmem triple for a //shahin:hotpath-tagged function, recorded
+// into the ledger so allocation regressions gate like invocation
+// counts.
+type BenchmarkResult struct {
+	// Name identifies the function, conventionally "pkg.Func".
+	Name string `json:"name"`
+	// Runs is the iteration count the harness settled on.
+	Runs int `json:"runs"`
+	// NsPerOp, AllocsPerOp, and BytesPerOp mirror testing.BenchmarkResult.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // Ledger snapshots the recorder into a new RunLedger: environment
@@ -97,6 +123,9 @@ func (r *Recorder) Ledger(name string) *RunLedger {
 	}
 	if st, ok := r.SLOStatus(); ok {
 		l.SLO = &st
+	}
+	if rt, ok := r.RuntimeStatus(); ok {
+		l.Runtime = &rt
 	}
 	l.EventsDropped = r.EventsDropped()
 	return l
@@ -145,12 +174,19 @@ func ReadLedger(rd io.Reader) (*RunLedger, error) {
 // Reuse is the allowed absolute drop in the reuse ratio; SLO the
 // allowed absolute drop in per-objective SLO compliance (gated only
 // when the baseline ledger carries an SLO table, so schema-1 baselines
-// keep comparing cleanly).
+// keep comparing cleanly). AllocsPerOp and BytesPerOp are allowed
+// fractional increases per hotpath benchmark, and GCCPU the allowed
+// absolute increase in the GC CPU fraction — both gated only when the
+// baseline carries the corresponding schema-3 section, so older
+// baselines keep comparing cleanly too.
 type Thresholds struct {
 	Invocations float64
 	Wall        float64
 	Reuse       float64
 	SLO         float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	GCCPU       float64
 }
 
 // Delta is one row of a ledger diff.
@@ -233,7 +269,73 @@ func CompareLedgers(prev, curr *RunLedger, th Thresholds) ([]Delta, bool) {
 		}
 	}
 
+	// Hotpath benchmark gates (schema ≥ 3): allocs/op and bytes/op per
+	// benchmark the baseline carries, each with a small absolute slack
+	// (one alloc, a cache line of bytes) so a toolchain whose escape
+	// analysis differs by a single allocation does not trip an exact
+	// gate. ns/op rides along ungated — micro-benchmark wall time is as
+	// noisy as run wall time. A benchmark the fresh run dropped is a
+	// regression, like a dropped SLO objective.
+	if len(prev.Benchmarks) > 0 {
+		currBench := map[string]BenchmarkResult{}
+		for _, b := range curr.Benchmarks {
+			currBench[b.Name] = b
+		}
+		for _, old := range prev.Benchmarks {
+			now, ok := currBench[old.Name]
+			alloc := Delta{Metric: "bench_" + old.Name + "_allocs_per_op", Old: float64(old.AllocsPerOp), Gated: true}
+			bytesD := Delta{Metric: "bench_" + old.Name + "_bytes_per_op", Old: float64(old.BytesPerOp), Gated: true}
+			nsD := Delta{Metric: "bench_" + old.Name + "_ns_per_op", Old: old.NsPerOp}
+			if ok {
+				alloc.New = float64(now.AllocsPerOp)
+				alloc.Regressed = exceedsWithSlack(alloc.Old, alloc.New, th.AllocsPerOp, 1)
+				bytesD.New = float64(now.BytesPerOp)
+				bytesD.Regressed = exceedsWithSlack(bytesD.Old, bytesD.New, th.BytesPerOp, 64)
+				nsD.New = now.NsPerOp
+			} else {
+				alloc.Regressed = true
+				bytesD.Regressed = true
+			}
+			for _, d := range []Delta{alloc, bytesD, nsD} {
+				d.Diff = d.New - d.Old
+				regressed = regressed || d.Regressed
+				deltas = append(deltas, d)
+			}
+		}
+	}
+
+	// GC CPU gate (schema ≥ 3): an absolute increase in the fraction of
+	// CPU the collector ate, gated when the baseline sampled it. A fresh
+	// run without a runtime section against a baseline with one is a
+	// regression — the sampler went missing.
+	if prev.Runtime != nil {
+		d := Delta{Metric: "gc_cpu_fraction", Old: prev.Runtime.GCCPUFraction, Gated: true}
+		if curr.Runtime != nil {
+			d.New = curr.Runtime.GCCPUFraction
+			d.Regressed = d.New-d.Old > th.GCCPU
+		} else {
+			d.Regressed = true
+		}
+		d.Diff = d.New - d.Old
+		regressed = regressed || d.Regressed
+		deltas = append(deltas, d)
+	}
+
 	return deltas, regressed
+}
+
+// exceedsWithSlack reports whether curr exceeds prev by more than the
+// allowed fractional increase, after granting a small absolute slack
+// (so a zero-alloc baseline tolerates measurement jitter of a single
+// allocation rather than regressing on any nonzero reading).
+func exceedsWithSlack(prev, curr, allowedFrac, absSlack float64) bool {
+	if curr <= prev+absSlack {
+		return false
+	}
+	if prev == 0 {
+		return true
+	}
+	return (curr-prev)/prev > allowedFrac
 }
 
 // sloByName indexes a status's objectives (empty map on nil).

@@ -101,6 +101,17 @@ const (
 	HistServeFlushSize    = "serve_flush_size"
 	HistServeWait         = "serve_wait_ns"
 	HistServeRequest      = "serve_request_ns"
+
+	// Occupancy gauges, set by the owning layer so scrapes see current
+	// state rather than having to replay the event log.
+	// GaugeWarmPooledItemsets is the number of itemsets currently
+	// holding materialised perturbations in a Warm explainer's pool;
+	// GaugeServeStoreSize the explanations held by the serving store;
+	// GaugeBreakerState the circuit breaker's state encoded 0 = closed,
+	// 1 = open, 2 = half-open.
+	GaugeWarmPooledItemsets = "warm_pooled_itemsets"
+	GaugeServeStoreSize     = "serve_store_size"
+	GaugeBreakerState       = "fault_breaker_state"
 )
 
 // Recorder collects spans, counters, gauges, and histograms from a run
@@ -117,6 +128,12 @@ type Recorder struct {
 	hists    map[string]*Histogram
 	spans    []*Span
 	slo      *SLOTracker
+	// runtime is the attached telemetry sampler (nil when none);
+	// runtimeStatus/runtimeSeen retain its last summary past Stop so
+	// ledgers built after the run still carry the runtime section.
+	runtime       *RuntimeSampler
+	runtimeStatus RuntimeStatus
+	runtimeSeen   bool
 }
 
 // NewRecorder returns an empty recorder; its uptime clock starts now.

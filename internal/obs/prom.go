@@ -27,8 +27,8 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		pn := "shahin_" + promName(name)
-		if _, err := fmt.Fprintf(w, "# HELP %s Shahin counter %q.\n# TYPE %s counter\n%s %d\n",
-			pn, name, pn, pn, m.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			pn, promHelpFor("counter", name), pn, pn, m.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -40,8 +40,8 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		pn := "shahin_" + promName(name)
-		if _, err := fmt.Fprintf(w, "# HELP %s Shahin gauge %q.\n# TYPE %s gauge\n%s %d\n",
-			pn, name, pn, pn, m.Gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			pn, promHelpFor("gauge", name), pn, pn, m.Gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -63,9 +63,63 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if err := writePromBuildInfo(w); err != nil {
+		return err
+	}
+
 	pn := "shahin_uptime_ms"
 	_, err := fmt.Fprintf(w, "# HELP %s Milliseconds since the recorder started.\n# TYPE %s gauge\n%s %s\n",
 		pn, pn, pn, formatPromFloat(m.UptimeMS))
+	return err
+}
+
+// promHelp carries curated HELP text for the well-known metric names;
+// anything unlisted falls back to a generic line via promHelpFor. The
+// map is only ever looked up by key — never iterated — so its order
+// cannot leak into the (deterministic) output.
+var promHelp = map[string]string{
+	CounterInvocations:       "Classifier Predict calls, including pool pre-labelling.",
+	CounterReusedSamples:     "Pooled samples served in place of fresh classifier calls.",
+	GaugeWarmPooledItemsets:  "Itemsets currently holding materialised perturbations in the warm pool.",
+	GaugeServeStoreSize:      "Explanations currently held by the serving store.",
+	GaugeBreakerState:        "Circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+	GaugeServeQueueDepth:     "Requests currently queued for the next serving flush.",
+	GaugeRuntimeHeapLive:     "Live heap bytes (runtime/metrics /memory/classes/heap/objects).",
+	GaugeRuntimeHeapGoal:     "Heap size the garbage collector is aiming for.",
+	GaugeRuntimeAllocBytes:   "Cumulative heap bytes allocated since process start.",
+	GaugeRuntimeAllocObjects: "Cumulative heap objects allocated since process start.",
+	GaugeRuntimeGoroutines:   "Live goroutines.",
+	GaugeRuntimeGCCycles:     "Completed GC cycles since process start.",
+	GaugeRuntimeGCCPUPPM:     "Fraction of available CPU spent in the garbage collector, in parts per million.",
+	HistRuntimeGCPause:       "GC stop-the-world pause distribution folded from runtime/metrics.",
+	HistRuntimeSchedLatency:  "Goroutine scheduling latency distribution folded from runtime/metrics.",
+}
+
+// promHelpFor returns the curated HELP text for a metric, or a generic
+// line naming the metric and its kind.
+func promHelpFor(kind, name string) string {
+	if h, ok := promHelp[name]; ok {
+		return h
+	}
+	return fmt.Sprintf("Shahin %s %q.", kind, name)
+}
+
+// writePromBuildInfo renders the build/environment fingerprint as a
+// constant gauge whose labels match the ledger's env section, so a
+// scraped fleet is attributable to the exact toolchain and commit a
+// ledger was produced on.
+func writePromBuildInfo(w io.Writer) error {
+	fp := Fingerprint()
+	pn := "shahin_build_info"
+	if _, err := fmt.Fprintf(w, "# HELP %s Build and environment fingerprint; the value is always 1 and the labels mirror the ledger env section.\n# TYPE %s gauge\n", pn, pn); err != nil {
+		return err
+	}
+	dirty := "false"
+	if fp.GitDirty {
+		dirty = "true"
+	}
+	_, err := fmt.Fprintf(w, "%s{dirty=%q,goarch=%q,goos=%q,goversion=%q,num_cpu=\"%d\",revision=%q} 1\n",
+		pn, dirty, fp.GOARCH, fp.GOOS, fp.GoVersion, fp.NumCPU, fp.GitCommit)
 	return err
 }
 
@@ -112,8 +166,11 @@ func writePromSLO(w io.Writer, st SLOStatus) error {
 // and count.
 func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
 	pn := "shahin_" + promName(name)
-	if _, err := fmt.Fprintf(w, "# HELP %s Shahin histogram %q (power-of-two ns buckets).\n# TYPE %s histogram\n",
-		pn, name, pn); err != nil {
+	help, ok := promHelp[name]
+	if !ok {
+		help = fmt.Sprintf("Shahin histogram %q (power-of-two ns buckets).", name)
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", pn, help, pn); err != nil {
 		return err
 	}
 	var cum int64

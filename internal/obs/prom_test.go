@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -93,5 +94,70 @@ func TestWritePrometheusParses(t *testing.T) {
 	buf.Reset()
 	if err := nilRec.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
 		t.Fatalf("nil recorder wrote %q, err %v", buf.String(), err)
+	}
+}
+
+// TestWritePrometheusBuildInfo: the fingerprint gauge must render with
+// its full sorted label set and a constant value of 1.
+func TestWritePrometheusBuildInfo(t *testing.T) {
+	r := NewRecorder()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE shahin_build_info gauge",
+		`goversion="` + runtime.Version() + `"`,
+		`goos="` + runtime.GOOS + `"`,
+		`goarch="` + runtime.GOARCH + `"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build_info output missing %q", want)
+		}
+	}
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "shahin_build_info{") {
+			line = l
+		}
+	}
+	if line == "" || !strings.HasSuffix(line, "} 1") {
+		t.Fatalf("build_info sample line %q, want constant 1", line)
+	}
+	for _, label := range []string{"dirty=", "goarch=", "goos=", "goversion=", "num_cpu=", "revision="} {
+		if !strings.Contains(line, label) {
+			t.Errorf("build_info line missing label %s: %q", label, line)
+		}
+	}
+}
+
+// TestWritePrometheusCuratedHelp: well-known metrics carry their
+// curated HELP text; unknown ones fall back to the generic line.
+func TestWritePrometheusCuratedHelp(t *testing.T) {
+	r := NewRecorder()
+	r.Counter(CounterInvocations).Add(1)
+	r.Gauge(GaugeBreakerState).Set(0)
+	r.Gauge("some_adhoc_gauge").Set(7)
+	r.StartRuntimeSampling(time.Hour) // one immediate sample registers the runtime metrics
+	r.StopRuntimeSampling()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP shahin_classifier_invocations " + promHelp[CounterInvocations],
+		"# HELP shahin_fault_breaker_state " + promHelp[GaugeBreakerState],
+		"# HELP shahin_runtime_heap_live_bytes " + promHelp[GaugeRuntimeHeapLive],
+		"# HELP shahin_runtime_gc_pause_ns " + promHelp[HistRuntimeGCPause],
+		`# HELP shahin_some_adhoc_gauge Shahin gauge "some_adhoc_gauge".`,
+		"shahin_runtime_goroutines ",
+		"# TYPE shahin_runtime_sched_latency_ns histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runtimeTestSink keeps test allocations live so the runtime metrics
+// the sampler reads actually move.
+var runtimeTestSink [][]byte
+
+// TestRuntimeSamplerLifecycle drives the full sampler lifecycle —
+// start, tick, stop — and checks the telemetry lands in gauges,
+// histograms, status, and events. Run under -race this also verifies
+// the sampler goroutine's synchronisation against concurrent readers.
+func TestRuntimeSamplerLifecycle(t *testing.T) {
+	r := NewRecorder()
+	s := r.StartRuntimeSampling(time.Millisecond)
+	if s == nil {
+		t.Fatal("StartRuntimeSampling returned nil sampler")
+	}
+	if again := r.StartRuntimeSampling(time.Hour); again != s {
+		t.Fatal("second Start returned a different sampler; want idempotence")
+	}
+
+	// Concurrent readers while the sampler ticks: the Prometheus dump,
+	// the ledger snapshot, and the status accessor must all be safe.
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				_ = r.WritePrometheus(&buf)
+				r.Ledger("race")
+				r.RuntimeStatus()
+			}
+		}()
+	}
+
+	// Allocate and force GC cycles so pauses and cycle counts move.
+	for i := 0; i < 8; i++ {
+		runtimeTestSink = append(runtimeTestSink, make([]byte, 1<<20))
+		runtime.GC()
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stopReaders)
+	wg.Wait()
+
+	st, ok := r.RuntimeStatus()
+	if !ok {
+		t.Fatal("no runtime status after sampling")
+	}
+	if st.Samples < 2 {
+		t.Errorf("samples = %d, want >= 2", st.Samples)
+	}
+	if st.HeapLiveBytes == 0 || st.HeapGoalBytes == 0 || st.TotalAllocBytes == 0 {
+		t.Errorf("heap stats empty: %+v", st)
+	}
+	if st.Goroutines < 1 {
+		t.Errorf("goroutines = %d", st.Goroutines)
+	}
+	if st.GCCycles == 0 {
+		t.Errorf("gc cycles = 0 after %d forced GCs", 8)
+	}
+	if st.GCPauseMaxNS <= 0 || st.GCPauseP50NS <= 0 {
+		t.Errorf("gc pause quantiles empty: %+v", st)
+	}
+
+	if got := r.Gauge(GaugeRuntimeHeapLive).Value(); got <= 0 {
+		t.Errorf("heap live gauge = %d", got)
+	}
+	if got := r.Gauge(GaugeRuntimeGCCycles).Value(); got <= 0 {
+		t.Errorf("gc cycles gauge = %d", got)
+	}
+	if got := r.Histogram(HistRuntimeGCPause).Count(); got <= 0 {
+		t.Errorf("gc pause histogram count = %d", got)
+	}
+	if got := r.Histogram(HistRuntimeSchedLatency).Count(); got <= 0 {
+		t.Errorf("sched latency histogram count = %d", got)
+	}
+
+	gcEvents, heapEvents := 0, 0
+	events, _ := r.Events()
+	for _, e := range events {
+		switch e.Type {
+		case EventGCCycle:
+			gcEvents++
+			if e.Itemsets <= 0 || e.Bytes < 0 {
+				t.Errorf("malformed gc_cycle event: %+v", e)
+			}
+		case EventHeapSample:
+			heapEvents++
+			if e.Bytes <= 0 || e.Goroutines <= 0 {
+				t.Errorf("malformed heap_sample event: %+v", e)
+			}
+		}
+	}
+	if gcEvents == 0 {
+		t.Error("no gc_cycle events after forced GCs")
+	}
+	if heapEvents == 0 {
+		t.Error("no heap_sample events")
+	}
+
+	r.StopRuntimeSampling()
+	// Status must survive Stop, and a stopped recorder accepts both a
+	// second Stop and a fresh Start.
+	if _, ok := r.RuntimeStatus(); !ok {
+		t.Fatal("runtime status lost after StopRuntimeSampling")
+	}
+	r.StopRuntimeSampling()
+	s2 := r.StartRuntimeSampling(time.Millisecond)
+	if s2 == nil || s2 == s {
+		t.Fatal("restart after Stop did not create a fresh sampler")
+	}
+	r.StopRuntimeSampling()
+}
+
+// TestRuntimeSamplerNilSafety: every entry point tolerates a nil
+// recorder.
+func TestRuntimeSamplerNilSafety(t *testing.T) {
+	var r *Recorder
+	if s := r.StartRuntimeSampling(time.Millisecond); s != nil {
+		t.Error("nil recorder returned a sampler")
+	}
+	r.StopRuntimeSampling()
+	if _, ok := r.RuntimeStatus(); ok {
+		t.Error("nil recorder reported runtime status")
+	}
+}
+
+// TestNowAllocs: the MemStats-delta marks must report monotonic,
+// nonzero growth across a deliberate allocation burst.
+func TestNowAllocs(t *testing.T) {
+	mark := NowAllocs()
+	if mark.Bytes == 0 || mark.Objects == 0 {
+		t.Fatalf("initial mark empty: %+v", mark)
+	}
+	for i := 0; i < 100; i++ {
+		runtimeTestSink = append(runtimeTestSink, make([]byte, 16<<10))
+	}
+	d := mark.Since()
+	if d.Bytes <= 0 || d.Objects <= 0 {
+		t.Fatalf("delta after allocating: %+v", d)
+	}
+	// runtime/metrics allocation counters are flushed from per-P caches
+	// lazily, so the delta can run slightly behind the exact total; half
+	// the deliberate burst is a safe floor.
+	if d.Bytes < 100*16<<10/2 {
+		t.Errorf("delta bytes %d < half the %d deliberately allocated", d.Bytes, 100*16<<10)
+	}
+}
+
+// TestLedgerSchema3RoundTrip: a sampled recorder's ledger carries the
+// runtime section and attached benchmarks through write/read.
+func TestLedgerSchema3RoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.StartRuntimeSampling(time.Millisecond)
+	runtime.GC()
+	r.StopRuntimeSampling()
+
+	l := r.Ledger("schema3")
+	if l.Schema != 3 {
+		t.Fatalf("schema = %d, want 3", l.Schema)
+	}
+	if l.Runtime == nil || l.Runtime.Samples < 1 {
+		t.Fatalf("runtime section missing: %+v", l.Runtime)
+	}
+	l.Benchmarks = []BenchmarkResult{
+		{Name: "pkg.Fast", Runs: 1000, NsPerOp: 120.5, AllocsPerOp: 2, BytesPerOp: 96},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteLedger(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Runtime == nil || back.Runtime.TotalAllocBytes != l.Runtime.TotalAllocBytes {
+		t.Fatalf("runtime section did not round-trip: %+v", back.Runtime)
+	}
+	if len(back.Benchmarks) != 1 || back.Benchmarks[0] != l.Benchmarks[0] {
+		t.Fatalf("benchmarks did not round-trip: %+v", back.Benchmarks)
+	}
+}
+
+// TestReadLedgerAcceptsOlderSchemas: schema 1 and 2 baselines must
+// still parse — the compare gates are conditional on the data they
+// carry, not on the stamp.
+func TestReadLedgerAcceptsOlderSchemas(t *testing.T) {
+	for _, raw := range []string{
+		`{"schema":1,"name":"v1"}`,
+		`{"schema":2,"name":"v2"}`,
+	} {
+		if _, err := ReadLedger(bytes.NewReader([]byte(raw))); err != nil {
+			t.Errorf("ReadLedger(%s): %v", raw, err)
+		}
+	}
+}
+
+// benchLedger builds a schema-3 ledger with one benchmark entry.
+func benchLedger(allocs, bytesPerOp int64) *RunLedger {
+	l := &RunLedger{
+		Schema: LedgerSchemaVersion,
+		Metrics: Metrics{Counters: map[string]int64{
+			CounterInvocations:   1000,
+			CounterReusedSamples: 3000,
+		}},
+		WallMS: 100,
+		Benchmarks: []BenchmarkResult{
+			{Name: "pkg.Hot", Runs: 100, NsPerOp: 50, AllocsPerOp: allocs, BytesPerOp: bytesPerOp},
+		},
+	}
+	return l
+}
+
+// TestCompareLedgersBenchmarkGates: the allocation gates fire on a
+// doubled allocs/op, tolerate slack, skip silently when the baseline
+// has no benchmark data, and treat a dropped benchmark as a
+// regression.
+func TestCompareLedgersBenchmarkGates(t *testing.T) {
+	th := Thresholds{Wall: 10, Reuse: 1, AllocsPerOp: 0.5, BytesPerOp: 0.5}
+
+	// Baseline without benchmarks: no benchmark deltas, no regression,
+	// even when the fresh run carries them — schema-2 baselines compare
+	// cleanly.
+	old := benchLedger(10, 1000)
+	old.Benchmarks = nil
+	deltas, regressed := CompareLedgers(old, benchLedger(99999, 1<<30), th)
+	if regressed {
+		t.Error("benchmark-less baseline regressed on new benchmark data")
+	}
+	for _, d := range deltas {
+		if d.Metric == "bench_pkg.Hot_allocs_per_op" {
+			t.Error("benchmark delta emitted without baseline data")
+		}
+	}
+
+	// A 2x allocs/op regression must fail the gate.
+	if _, regressed := CompareLedgers(benchLedger(10, 1000), benchLedger(20, 1000), th); !regressed {
+		t.Error("2x allocs/op did not regress")
+	}
+	// Within the fractional threshold: fine.
+	if _, regressed := CompareLedgers(benchLedger(10, 1000), benchLedger(14, 1000), th); regressed {
+		t.Error("+40% allocs/op regressed despite 50% threshold")
+	}
+	// 2x bytes/op regression.
+	if _, regressed := CompareLedgers(benchLedger(10, 1000), benchLedger(10, 2000), th); !regressed {
+		t.Error("2x bytes/op did not regress")
+	}
+	// Zero-alloc baseline: one stray alloc (and a few stray bytes) sit
+	// inside the absolute slack; more than that regresses.
+	if _, regressed := CompareLedgers(benchLedger(0, 0), benchLedger(1, 32), th); regressed {
+		t.Error("single-alloc jitter over a zero baseline regressed")
+	}
+	if _, regressed := CompareLedgers(benchLedger(0, 0), benchLedger(2, 256), th); !regressed {
+		t.Error("real growth over a zero baseline did not regress")
+	}
+	// ns/op is recorded but never gated.
+	slow := benchLedger(10, 1000)
+	slow.Benchmarks[0].NsPerOp = 1e9
+	if _, regressed := CompareLedgers(benchLedger(10, 1000), slow, th); regressed {
+		t.Error("ns/op increase regressed; wall-time noise must not gate")
+	}
+	// A benchmark the fresh run dropped is a regression.
+	gone := benchLedger(10, 1000)
+	gone.Benchmarks = nil
+	if _, regressed := CompareLedgers(benchLedger(10, 1000), gone, th); !regressed {
+		t.Error("dropped benchmark did not regress")
+	}
+}
+
+// TestCompareLedgersGCCPUGate: the GC CPU fraction gates on absolute
+// increase, only when the baseline sampled it.
+func TestCompareLedgersGCCPUGate(t *testing.T) {
+	th := Thresholds{Wall: 10, Reuse: 1, GCCPU: 0.25}
+	withGC := func(frac float64) *RunLedger {
+		l := benchLedger(1, 1)
+		l.Benchmarks = nil
+		l.Runtime = &RuntimeStatus{Samples: 5, GCCPUFraction: frac}
+		return l
+	}
+	noRT := benchLedger(1, 1)
+	noRT.Benchmarks = nil
+
+	if _, regressed := CompareLedgers(noRT, withGC(0.99), th); regressed {
+		t.Error("runtime-less baseline regressed on new runtime data")
+	}
+	if _, regressed := CompareLedgers(withGC(0.05), withGC(0.2), th); regressed {
+		t.Error("GC CPU within threshold regressed")
+	}
+	if _, regressed := CompareLedgers(withGC(0.05), withGC(0.5), th); !regressed {
+		t.Error("GC CPU blowup did not regress")
+	}
+	if _, regressed := CompareLedgers(withGC(0.05), noRT, th); !regressed {
+		t.Error("dropped runtime section did not regress")
+	}
+}
+
+// TestHistogramQuantileEdges pins the quantile edge semantics: empty
+// histograms answer 0, single-sample histograms answer that sample for
+// every q, and q is clamped into [0, 1] with min/max at the ends.
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := newHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot Quantile = %v, want 0", got)
+	}
+
+	single := newHistogram()
+	single.Observe(100 * time.Nanosecond)
+	for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.99, 1, 1.5} {
+		if got := single.Quantile(q); got != 100*time.Nanosecond {
+			t.Errorf("single.Quantile(%v) = %v, want 100ns", q, got)
+		}
+	}
+	snap := single.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := snap.Quantile(q); got != 100*time.Nanosecond {
+			t.Errorf("single snapshot Quantile(%v) = %v, want 100ns", q, got)
+		}
+	}
+
+	multi := newHistogram()
+	multi.Observe(10 * time.Nanosecond)
+	multi.Observe(1000 * time.Nanosecond)
+	if got := multi.Quantile(0); got != 10*time.Nanosecond {
+		t.Errorf("Quantile(0) = %v, want observed min", got)
+	}
+	if got := multi.Quantile(1); got != 1000*time.Nanosecond {
+		t.Errorf("Quantile(1) = %v, want observed max", got)
+	}
+	// Interior quantiles stay inside [min, max] even though bucket
+	// upper bounds are powers of two.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := multi.Quantile(q)
+		if got < 10*time.Nanosecond || got > 1000*time.Nanosecond {
+			t.Errorf("Quantile(%v) = %v outside [10ns, 1000ns]", q, got)
+		}
+	}
+	ms := multi.Snapshot()
+	if got := ms.Quantile(0); got != 10*time.Nanosecond {
+		t.Errorf("snapshot Quantile(0) = %v, want min", got)
+	}
+	if got := ms.Quantile(1); got != 1000*time.Nanosecond {
+		t.Errorf("snapshot Quantile(1) = %v, want max", got)
+	}
+}
+
+// TestObserveBucketed: folding n observations at once must match n
+// individual Observes in count, sum, min/max, and quantiles.
+func TestObserveBucketed(t *testing.T) {
+	a := newHistogram()
+	b := newHistogram()
+	for i := 0; i < 5; i++ {
+		a.Observe(200 * time.Nanosecond)
+	}
+	a.Observe(7 * time.Nanosecond)
+	b.observeBucketed(200, 5)
+	b.observeBucketed(7, 1)
+	if a.Count() != b.Count() || a.Sum() != b.Sum() {
+		t.Fatalf("count/sum mismatch: (%d, %v) vs (%d, %v)", a.Count(), a.Sum(), b.Count(), b.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("Quantile(%v): %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	// Degenerate folds are no-ops.
+	before := b.Count()
+	b.observeBucketed(100, 0)
+	b.observeBucketed(100, -3)
+	(*Histogram)(nil).observeBucketed(100, 5)
+	if b.Count() != before {
+		t.Error("zero/negative-count folds changed the histogram")
+	}
+}

@@ -189,8 +189,69 @@ func BenchmarkForItemset(b *testing.B) {
 	}
 	g := NewGenerator(st, rand.New(rand.NewSource(8)))
 	frozen := dataset.Itemset{dataset.MakeItem(0, 0), dataset.MakeItem(5, 1)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.ForItemset(frozen)
+		benchSample = g.ForItemset(frozen)
+	}
+}
+
+// Package-level sinks keep the compiler from eliding benchmark bodies.
+var (
+	benchSample Sample
+	benchVec    []float64
+	benchBool   bool
+)
+
+func benchEnv(b *testing.B) (*dataset.Dataset, *dataset.Stats, *Generator) {
+	b.Helper()
+	cfg, err := datagen.Spec("census")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := cfg.Generate(5000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := dataset.Compute(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, st, NewGenerator(st, rand.New(rand.NewSource(8)))
+}
+
+func BenchmarkForTuple(b *testing.B) {
+	d, _, g := benchEnv(b)
+	tup := d.Rows(0, 1)[0]
+	freeze := make([]bool, len(tup))
+	freeze[0], freeze[len(tup)/2] = true, true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSample = g.ForTuple(tup, freeze)
+	}
+}
+
+func BenchmarkBinaryEncode(b *testing.B) {
+	d, st, g := benchEnv(b)
+	tItems := st.ItemizeRow(d.Rows(0, 1)[0], nil)
+	s := g.ForItemset(nil)
+	out := make([]float64, len(tItems))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchVec = BinaryEncode(tItems, s.Items, out[:0])
+	}
+}
+
+func BenchmarkMatchesBins(b *testing.B) {
+	d, st, g := benchEnv(b)
+	tItems := st.ItemizeRow(d.Rows(0, 1)[0], nil)
+	frozen := dataset.Itemset{tItems[0], tItems[len(tItems)/2]}
+	s := g.ForItemset(frozen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchBool = MatchesBins(frozen, s.Items)
 	}
 }

@@ -1,0 +1,381 @@
+// Package prof decodes Go pprof profiles (the gzipped protobuf format
+// written by runtime/pprof) using only the standard library, and
+// aggregates them into flat/cumulative hot-function tables.
+//
+// The decoder understands exactly the subset of profile.proto that Go
+// profiles populate — sample types, samples, locations, functions, the
+// string table, and period/duration metadata — and skips everything
+// else, so it stays a few hundred lines instead of pulling in a
+// protobuf dependency. It exists so shahin-prof can turn CPU, heap,
+// mutex, and block profiles into ledger-recordable top-N tables
+// without shelling out to `go tool pprof`.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// ValueType names one sample value dimension, e.g. {Type: "cpu",
+// Unit: "nanoseconds"} or {Type: "alloc_space", Unit: "bytes"}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one stack sample: a leaf-first location stack and one
+// value per sample type.
+type Sample struct {
+	LocationIDs []uint64
+	Values      []int64
+}
+
+// Line attributes part of a location to a source line of a function.
+type Line struct {
+	FunctionID uint64
+	Line       int64
+}
+
+// Location is one address in a profile. Multiple lines mean inlining:
+// the first line is the innermost (leaf) inlined call, the last is the
+// physical caller.
+type Location struct {
+	ID    uint64
+	Lines []Line
+}
+
+// Function is one function referenced by profile locations.
+type Function struct {
+	ID   uint64
+	Name string
+	File string
+}
+
+// Profile is a decoded pprof profile.
+type Profile struct {
+	SampleTypes []ValueType
+	Samples     []Sample
+	Locations   map[uint64]Location
+	Functions   map[uint64]Function
+
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+}
+
+// ValueIndex returns the index into Sample.Values for the named sample
+// type (e.g. "cpu", "alloc_space", "delay"), or -1 if absent.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// Parse decodes a pprof profile, transparently gunzipping when the
+// input carries the gzip magic (runtime/pprof always gzips; a raw
+// protobuf body is accepted too for fixtures).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+	}
+
+	p := &Profile{
+		Locations: make(map[uint64]Location),
+		Functions: make(map[uint64]Function),
+	}
+	// String-table indexes are resolved after the walk: the table is a
+	// repeated field and may appear after its first referents.
+	var strtab []string
+	var sampleTypeIdx, periodTypeIdx [][2]uint64 // (type, unit) string indexes
+	var funcStrIdx []map[string]uint64           // per-function {name, file} indexes, parallel to funcOrder
+	var funcOrder []uint64
+
+	r := wireReader{buf: data}
+	for !r.eof() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			payload, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			ti, ui, err := parseValueType(payload)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypeIdx = append(sampleTypeIdx, [2]uint64{ti, ui})
+		case 2: // sample
+			payload, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(payload)
+			if err != nil {
+				return nil, err
+			}
+			p.Samples = append(p.Samples, s)
+		case 4: // location
+			payload, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(payload)
+			if err != nil {
+				return nil, err
+			}
+			p.Locations[loc.ID] = loc
+		case 5: // function
+			payload, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, idx, err := parseFunction(payload)
+			if err != nil {
+				return nil, err
+			}
+			funcOrder = append(funcOrder, id)
+			funcStrIdx = append(funcStrIdx, idx)
+		case 6: // string_table
+			payload, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(payload))
+		case 9: // time_nanos
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = int64(v)
+		case 10: // duration_nanos
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 11: // period_type
+			payload, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			ti, ui, err := parseValueType(payload)
+			if err != nil {
+				return nil, err
+			}
+			periodTypeIdx = append(periodTypeIdx, [2]uint64{ti, ui})
+		case 12: // period
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		default: // mapping, drop/keep_frames, comment, …
+			if err := r.skip(typ); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, ti := range sampleTypeIdx {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(ti[0]), Unit: str(ti[1])})
+	}
+	if len(periodTypeIdx) > 0 {
+		last := periodTypeIdx[len(periodTypeIdx)-1]
+		p.PeriodType = ValueType{Type: str(last[0]), Unit: str(last[1])}
+	}
+	for i, id := range funcOrder {
+		p.Functions[id] = Function{
+			ID:   id,
+			Name: str(funcStrIdx[i]["name"]),
+			File: str(funcStrIdx[i]["file"]),
+		}
+	}
+	for _, s := range p.Samples {
+		if len(s.Values) != len(p.SampleTypes) {
+			return nil, fmt.Errorf("prof: sample has %d values, profile has %d sample types",
+				len(s.Values), len(p.SampleTypes))
+		}
+	}
+	return p, nil
+}
+
+// parseValueType decodes a ValueType message into its raw string-table
+// indexes.
+func parseValueType(payload []byte) (typIdx, unitIdx uint64, err error) {
+	r := wireReader{buf: payload}
+	for !r.eof() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case 1:
+			if typIdx, err = r.varint(); err != nil {
+				return 0, 0, err
+			}
+		case 2:
+			if unitIdx, err = r.varint(); err != nil {
+				return 0, 0, err
+			}
+		default:
+			if err := r.skip(typ); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return typIdx, unitIdx, nil
+}
+
+// parseSample decodes a Sample message (location stack + values).
+func parseSample(payload []byte) (Sample, error) {
+	var s Sample
+	r := wireReader{buf: payload}
+	for !r.eof() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1:
+			if s.LocationIDs, err = r.uint64s(typ, s.LocationIDs); err != nil {
+				return s, err
+			}
+		case 2:
+			if s.Values, err = r.int64s(typ, s.Values); err != nil {
+				return s, err
+			}
+		default:
+			if err := r.skip(typ); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseLocation decodes a Location message (id + line records).
+func parseLocation(payload []byte) (Location, error) {
+	var loc Location
+	r := wireReader{buf: payload}
+	for !r.eof() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return loc, err
+		}
+		switch num {
+		case 1:
+			v, err := r.varint()
+			if err != nil {
+				return loc, err
+			}
+			loc.ID = v
+		case 4:
+			payload, err := r.bytes()
+			if err != nil {
+				return loc, err
+			}
+			ln, err := parseLine(payload)
+			if err != nil {
+				return loc, err
+			}
+			loc.Lines = append(loc.Lines, ln)
+		default:
+			if err := r.skip(typ); err != nil {
+				return loc, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+// parseLine decodes a Line message.
+func parseLine(payload []byte) (Line, error) {
+	var ln Line
+	r := wireReader{buf: payload}
+	for !r.eof() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return ln, err
+		}
+		switch num {
+		case 1:
+			v, err := r.varint()
+			if err != nil {
+				return ln, err
+			}
+			ln.FunctionID = v
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return ln, err
+			}
+			ln.Line = int64(v)
+		default:
+			if err := r.skip(typ); err != nil {
+				return ln, err
+			}
+		}
+	}
+	return ln, nil
+}
+
+// parseFunction decodes a Function message into its id and raw
+// string-table indexes for name and filename.
+func parseFunction(payload []byte) (id uint64, strIdx map[string]uint64, err error) {
+	strIdx = map[string]uint64{}
+	r := wireReader{buf: payload}
+	for !r.eof() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch num {
+		case 1:
+			if id, err = r.varint(); err != nil {
+				return 0, nil, err
+			}
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return 0, nil, err
+			}
+			strIdx["name"] = v
+		case 4:
+			v, err := r.varint()
+			if err != nil {
+				return 0, nil, err
+			}
+			strIdx["file"] = v
+		default:
+			if err := r.skip(typ); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return id, strIdx, nil
+}

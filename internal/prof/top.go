@@ -1,0 +1,89 @@
+package prof
+
+import "sort"
+
+// HotFunc is one row of a top-N hot-function table.
+type HotFunc struct {
+	// Name is the fully qualified function name.
+	Name string `json:"name"`
+	// File is the source file the function lives in.
+	File string `json:"file,omitempty"`
+	// Flat is the value attributed to the function itself (samples
+	// whose innermost frame is this function).
+	Flat int64 `json:"flat"`
+	// Cum is the value attributed to the function and everything it
+	// called (samples with this function anywhere on the stack).
+	Cum int64 `json:"cum"`
+}
+
+// Top aggregates the profile into its n hottest functions by flat
+// value for the given sample-value index (see ValueIndex). Flat charges
+// each sample to the innermost frame of its leaf location; Cum charges
+// it to every distinct function on the stack once. Rows sort by Flat
+// descending, ties by Name, so the table is deterministic.
+func (p *Profile) Top(valueIndex, n int) []HotFunc {
+	if valueIndex < 0 || n <= 0 {
+		return nil
+	}
+	type agg struct {
+		flat, cum int64
+	}
+	byFunc := make(map[uint64]*agg)
+	for _, s := range p.Samples {
+		if valueIndex >= len(s.Values) {
+			continue
+		}
+		v := s.Values[valueIndex]
+		if v == 0 || len(s.LocationIDs) == 0 {
+			continue
+		}
+		// Location stacks are leaf-first; within a location, lines are
+		// innermost-inline-first. The very first function we see is the
+		// flat owner; every distinct function on the stack gets cum.
+		seen := make(map[uint64]bool)
+		flatDone := false
+		for _, locID := range s.LocationIDs {
+			loc, ok := p.Locations[locID]
+			if !ok {
+				continue
+			}
+			for _, ln := range loc.Lines {
+				a := byFunc[ln.FunctionID]
+				if a == nil {
+					a = &agg{}
+					byFunc[ln.FunctionID] = a
+				}
+				if !flatDone {
+					a.flat += v
+					flatDone = true
+				}
+				if !seen[ln.FunctionID] {
+					a.cum += v
+					seen[ln.FunctionID] = true
+				}
+			}
+		}
+	}
+
+	rows := make([]HotFunc, 0, len(byFunc))
+	// Deterministic despite map iteration: every row is collected, then
+	// fully ordered by (Flat desc, Name asc) before truncation.
+	for id, a := range byFunc {
+		fn := p.Functions[id]
+		name := fn.Name
+		if name == "" {
+			name = "<unknown>"
+		}
+		rows = append(rows, HotFunc{Name: name, File: fn.File, Flat: a.flat, Cum: a.cum})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Flat != rows[j].Flat {
+			return rows[i].Flat > rows[j].Flat
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}

@@ -1,0 +1,143 @@
+package prof
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Protobuf wire types (the subset pprof profiles use).
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// errTruncated reports input that ends mid-value.
+var errTruncated = errors.New("prof: truncated input")
+
+// wireReader is a cursor over protobuf wire-format bytes: varints,
+// tags, length-delimited fields, and skipping — everything a pprof
+// profile needs, with no generated code.
+type wireReader struct {
+	buf []byte
+	pos int
+}
+
+// eof reports whether the cursor consumed the whole buffer.
+func (r *wireReader) eof() bool { return r.pos >= len(r.buf) }
+
+// varint decodes one base-128 varint (at most 10 bytes for a 64-bit
+// value).
+func (r *wireReader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.pos >= len(r.buf) {
+			return 0, errTruncated
+		}
+		b := r.buf[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("prof: varint overflows 64 bits")
+}
+
+// tag decodes one field tag into its number and wire type.
+func (r *wireReader) tag() (num int, typ int, err error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	num = int(v >> 3)
+	typ = int(v & 7)
+	if num == 0 {
+		return 0, 0, errors.New("prof: field number 0")
+	}
+	return num, typ, nil
+}
+
+// bytes decodes one length-delimited field and returns its payload.
+func (r *wireReader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return nil, errTruncated
+	}
+	out := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+// skip advances past one field of the given wire type.
+func (r *wireReader) skip(typ int) error {
+	switch typ {
+	case wireVarint:
+		_, err := r.varint()
+		return err
+	case wireFixed64:
+		if len(r.buf)-r.pos < 8 {
+			return errTruncated
+		}
+		r.pos += 8
+		return nil
+	case wireBytes:
+		_, err := r.bytes()
+		return err
+	case wireFixed32:
+		if len(r.buf)-r.pos < 4 {
+			return errTruncated
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", typ)
+	}
+}
+
+// uint64s appends one repeated-uint64 field occurrence to dst,
+// handling both the packed (length-delimited) and unpacked (one varint
+// per occurrence) encodings — encoders may emit either.
+func (r *wireReader) uint64s(typ int, dst []uint64) ([]uint64, error) {
+	switch typ {
+	case wireVarint:
+		v, err := r.varint()
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, v), nil
+	case wireBytes:
+		payload, err := r.bytes()
+		if err != nil {
+			return dst, err
+		}
+		sub := wireReader{buf: payload}
+		for !sub.eof() {
+			v, err := sub.varint()
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, v)
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("prof: repeated uint64 with wire type %d", typ)
+	}
+}
+
+// int64s is uint64s for repeated int64 fields (pprof encodes them as
+// plain two's-complement varints, not zigzag).
+func (r *wireReader) int64s(typ int, dst []int64) ([]int64, error) {
+	tmp, err := r.uint64s(typ, nil)
+	if err != nil {
+		return dst, err
+	}
+	for _, v := range tmp {
+		dst = append(dst, int64(v))
+	}
+	return dst, nil
+}

@@ -163,6 +163,9 @@ func New(warm *core.Warm, cfg Config) (*Server, error) {
 		lifecycle: ctx,
 		endLife:   cancel,
 	}
+	// Publish the restored store size up front so the gauge is truthful
+	// before the first flush lands.
+	s.rec.Gauge(obs.GaugeServeStoreSize).Set(int64(st.Len()))
 	s.batcherWG.Add(1)
 	go s.runBatcher()
 	s.ready.Store(true)
@@ -306,6 +309,7 @@ func (s *Server) flush(batch []*request) {
 			s.store.Put(req.tuple, res.Explanations[i])
 		}
 	}
+	s.rec.Gauge(obs.GaugeServeStoreSize).Set(int64(s.store.Len()))
 	s.storeMu.Unlock()
 
 	// Latency attribution: each request inherits its tuple's core stage

@@ -422,3 +422,40 @@ func TestServeConfigDefaults(t *testing.T) {
 		t.Fatalf("defaults = %s, want %s", got, want)
 	}
 }
+
+// TestServeStoreSizeGauge: the store-size gauge is truthful at startup
+// (restored snapshots included) and after each flush's store writes.
+func TestServeStoreSizeGauge(t *testing.T) {
+	env := newEnv(t, 9, 10)
+	rec := obs.NewRecorder()
+	s, err := New(newWarm(t, env, 9), Config{BatchWindow: time.Millisecond, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(t.Context()) //shahinvet:allow errcheck — drain errors surface in the dedicated drain test
+
+	g := rec.Gauge(obs.GaugeServeStoreSize)
+	if g.Value() != 0 {
+		t.Fatalf("gauge at startup = %d, want 0", g.Value())
+	}
+	for i := 0; i < 3; i++ {
+		if _, code := postExplain(t, ts.URL, env.tuples[i]); code != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d", i, code)
+		}
+		if got := g.Value(); got != int64(s.StoreLen()) {
+			t.Fatalf("after request %d: gauge = %d, StoreLen = %d", i, got, s.StoreLen())
+		}
+	}
+	if g.Value() != 3 {
+		t.Fatalf("gauge after 3 distinct tuples = %d, want 3", g.Value())
+	}
+	// A store hit leaves the size unchanged.
+	if _, code := postExplain(t, ts.URL, env.tuples[0]); code != http.StatusOK {
+		t.Fatal("repeat request failed")
+	}
+	if g.Value() != 3 {
+		t.Fatalf("gauge after store hit = %d, want 3", g.Value())
+	}
+}
