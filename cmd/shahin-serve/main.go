@@ -57,6 +57,7 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, queue wait included (0 disables)")
 		staleAfter  = flag.Int("stale-after", 0, "re-mine the itemset pool after this many explained tuples (0 = default 2048)")
 		storePath   = flag.String("store", "", "explanation-store snapshot: loaded at startup, written on graceful shutdown")
+		warmFrom    = flag.String("warm-from", "", "comma-separated peer URLs to fetch a store snapshot from at startup (first healthy peer wins)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight flushes")
 
 		obsAddr       = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address (\":0\" picks a port)")
@@ -151,6 +152,20 @@ func main() {
 	}
 	if *storePath != "" && srv.StoreLen() > 0 {
 		fmt.Printf("store: restored %d explanations from %s\n", srv.StoreLen(), *storePath)
+	}
+	if *warmFrom != "" {
+		peers := strings.Split(*warmFrom, ",")
+		for i, p := range peers {
+			peers[i] = strings.TrimSpace(p)
+		}
+		n, err := srv.RestoreFromPeers(ctx, peers, nil)
+		if err != nil {
+			// Peer recovery is best-effort: a replica with no healthy
+			// neighbours still serves, it just starts cold.
+			fmt.Fprintln(os.Stderr, "shahin-serve: peer warm-up failed:", err)
+		} else {
+			fmt.Printf("store: warmed %d explanations from peer snapshot\n", n)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

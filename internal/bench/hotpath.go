@@ -12,6 +12,7 @@ import (
 	"shahin/internal/linmodel"
 	"shahin/internal/obs"
 	"shahin/internal/perturb"
+	"shahin/internal/router"
 )
 
 // Benchmark sinks: package-level so the compiler cannot dead-code-
@@ -22,6 +23,8 @@ var (
 	hotSinkVec      []float64
 	hotSinkBool     bool
 	hotSinkSolveErr error
+	hotSinkUint64   uint64
+	hotSinkInt      int
 )
 
 // hotpathBodies builds one benchmark body per //shahin:hotpath
@@ -87,6 +90,11 @@ func hotpathBodies(seed int64) (map[string]func(n int), error) {
 		return nil, fmt.Errorf("bench: hotpath Solve fixture not positive definite: %w", err)
 	}
 
+	// The routing hotpaths: a production-shaped ring (3 replicas at the
+	// default vnode density) looked up with the fixture tuple's own
+	// itemset signature.
+	routerRing := router.NewRing(3, router.DefaultVNodes)
+
 	bodies := map[string]func(n int){
 		"perturb.(*Generator).ForItemset": func(n int) {
 			for i := 0; i < n; i++ {
@@ -113,6 +121,18 @@ func hotpathBodies(seed int64) (map[string]func(n int), error) {
 		"linmodel.(*Sym).Solve": func(n int) {
 			for i := 0; i < n; i++ {
 				hotSinkFloats, hotSinkSolveErr = sym.Solve(rhs)
+			}
+		},
+		"router.Signature": func(n int) {
+			for i := 0; i < n; i++ {
+				hotSinkUint64 = router.Signature(tItems)
+			}
+		},
+		"router.(*Ring).Lookup": func(n int) {
+			ring := routerRing
+			sig := router.Signature(tItems)
+			for i := 0; i < n; i++ {
+				hotSinkInt = ring.Lookup(sig)
 			}
 		},
 	}

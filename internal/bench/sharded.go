@@ -1,0 +1,606 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"shahin/internal/core"
+	"shahin/internal/dataset"
+	"shahin/internal/fault"
+	"shahin/internal/obs"
+	"shahin/internal/router"
+	"shahin/internal/serve"
+)
+
+// Sharded is the failure-aware sharded-serving experiment: a
+// shahin-router front tier over three in-process shahin-serve replicas,
+// driven by an affinity-heavy workload (families of tuples identical
+// after discretisation, plus repeat waves), with one replica killed and
+// restarted mid-stream. It demonstrates the three sharding invariants:
+//
+//   - itemset-affinity routing preserves the aggregate reuse a single
+//     replica gets (within 10%) and is measurably better than
+//     round-robin sharding, which scatters repeats away from the
+//     replica whose store and pools already hold their work;
+//   - a killed replica's tuples fail over in ring order (answered and
+//     marked degraded, never dropped), and the restarted replica warms
+//     its store from the peer that covered for it, so repeats of
+//     outage-window tuples come back as store hits;
+//   - the whole run is deterministic: the experiment executes twice and
+//     the two ledgers must be byte-identical.
+//
+// Any violated invariant is an error, so CI fails loudly.
+func Sharded(cfg Config) (*Table, error) {
+	cfg = cfg.Fill()
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.NewRecorder()
+	}
+	// The experiment fixes its own sample budget: with shardSamples per
+	// explanation and pools bounded by shardMaxItemsets, a recompute on
+	// the wrong replica pays hundreds of fresh classifier invocations,
+	// so the routing policies separate cleanly instead of hiding inside
+	// pool noise.
+	cfg.LIMESamples = shardSamples
+	first, err := shardedOnce(cfg)
+	if err != nil {
+		return nil, err
+	}
+	second, err := shardedOnce(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: deterministic re-run failed: %w", err)
+	}
+	a, b := mustJSON(first), mustJSON(second)
+	if a != b {
+		return nil, fmt.Errorf("sharded: ledger not byte-identical across two runs with seed %d", cfg.Seed)
+	}
+	first.AddNote("deterministic re-run: the experiment executed twice and produced byte-identical ledgers (seed %d)", cfg.Seed)
+	return first, nil
+}
+
+// Workload shape: shardFamilies centroid tuples, each expanded into
+// shardVariants in-bin variants (distinct floats, identical discretised
+// items), streamed interleaved, followed by shardReplays full repeat
+// waves in seed-shuffled order. shardMaxItemsets bounds each replica's
+// pool build so the per-replica warm-up cost amortises at this scale
+// the way a production pool build amortises over real traffic volume.
+const (
+	shardFamilies    = 12
+	shardVariants    = 10
+	shardReplays     = 2
+	shardReplicas    = 3
+	shardSamples     = 800
+	shardMaxItemsets = 24
+)
+
+// shardedOnce executes one full pass of the experiment.
+func shardedOnce(cfg Config) (*Table, error) {
+	env, err := NewEnv("census", cfg)
+	if err != nil {
+		return nil, err
+	}
+	workload, distinct, err := shardWorkload(env, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	total := len(workload)
+
+	// Phase 1: single-replica baseline — every tuple at one node, the
+	// reuse ceiling sharding is measured against.
+	single, err := runShardPhase(env, cfg, router.PolicyAffinity, 1, workload)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: single-replica phase: %w", err)
+	}
+	// Phase 2: three replicas, content-blind round-robin — the naive
+	// sharding baseline that scatters each family across the fleet and
+	// recomputes repeats on replicas that never saw the original.
+	rr, err := runShardPhase(env, cfg, router.PolicyRoundRobin, shardReplicas, workload)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: round-robin phase: %w", err)
+	}
+	// Phase 3: three replicas, itemset-affinity routing — families stay
+	// whole, repeats land where their explanation is already stored.
+	aff, err := runShardPhase(env, cfg, router.PolicyAffinity, shardReplicas, workload)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: affinity phase: %w", err)
+	}
+	// Phase 4: affinity again, with a replica killed mid-stream and
+	// restarted from a peer snapshot.
+	chaos, err := runShardChaos(env, cfg, workload, distinct)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gate (a): affinity reuse within 10% of the single-replica ceiling
+	// and measurably better than round-robin.
+	if aff.reuse() < 0.9*single.reuse() {
+		return nil, fmt.Errorf("sharded: affinity reuse %.3f fell below 90%% of single-replica %.3f",
+			aff.reuse(), single.reuse())
+	}
+	if aff.reuse() < rr.reuse()+0.02 {
+		return nil, fmt.Errorf("sharded: affinity reuse %.3f not measurably better than round-robin %.3f",
+			aff.reuse(), rr.reuse())
+	}
+	failed := single.failed + rr.failed + aff.failed + chaos.failed
+	if failed != 0 {
+		return nil, fmt.Errorf("sharded: %d failed tuples across the phases", failed)
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Sharded: %d-request affinity workload (%d families x %d variants, %d repeat waves) over %d replicas, kill+restart mid-stream",
+			total, shardFamilies, shardVariants, shardReplays, shardReplicas),
+		Header: []string{"Metric", "Value"},
+	}
+	t.AddRow("requests per phase (distinct + repeats)", fmt.Sprintf("%d (%d + %d)", total, distinct, total-distinct))
+	t.AddRow("aggregate reuse (single replica)", f3(single.reuse()))
+	t.AddRow("aggregate reuse (round-robin, 3 replicas)", f3(rr.reuse()))
+	t.AddRow("aggregate reuse (affinity, 3 replicas)", f3(aff.reuse()))
+	t.AddRow("affinity / single-replica reuse", f3(aff.reuse()/single.reuse()))
+	t.AddRow("classifier invocations (single / rr / affinity)", fmt.Sprintf("%d / %d / %d",
+		single.invocations, rr.invocations, aff.invocations))
+	t.AddRow("pooled samples reused (single / rr / affinity)", fmt.Sprintf("%d / %d / %d",
+		single.reused, rr.reused, aff.reused))
+	t.AddRow("aggregate reuse (chaos, incl. restarted replica)", f3(chaos.reuse()))
+	t.AddRow("outage answers marked degraded", itoa(chaos.degraded))
+	t.AddRow("failover re-routes (transport error)", itoa(chaos.failovers))
+	t.AddRow("snapshot entries restored from peer", itoa(chaos.restored))
+	t.AddRow("post-restart store hits on restarted replica", itoa(chaos.storeHits))
+	t.AddRow("failed tuples", itoa(failed))
+	t.AddNote("aggregate reuse = 1 - fleet classifier invocations / (requests x %d samples): the fraction of the stream's labelling demand met from pooled perturbations and stored explanations instead of fresh classifier work, per-replica pool builds included", cfg.LIMESamples)
+	t.AddNote("invariants verified: all %d requests of every phase answered ok; zero failed tuples across every replica including the restarted one; every outage-window answer for the dead replica's tuples failed over and was marked degraded; the restarted replica warmed %d store entries from its ring neighbour and answered %d repeats from that snapshot",
+		total, chaos.restored, chaos.storeHits)
+	return t, nil
+}
+
+// shardWorkload builds the affinity-heavy request stream: for each of
+// shardFamilies distinct test tuples, shardVariants rows that are
+// distinct as floats (so the explanation store treats them as fresh)
+// but identical after discretisation (so affinity pins the family to
+// one replica and the family shares one set of perturbation pools).
+// The distinct prefix interleaves families — v0 of every family, then
+// v1, ... — and is followed by shardReplays full repeat waves, each in
+// its own seed-shuffled order so round-robin cannot accidentally
+// realign a repeat with its original replica. Returns the stream and
+// the length of its distinct prefix.
+func shardWorkload(env *Env, seed int64) ([][]float64, int, error) {
+	numIdx := env.Stats.Schema.NumericIdx()
+	if len(numIdx) == 0 {
+		return nil, 0, fmt.Errorf("sharded: dataset %s has no numeric attribute to build in-bin variants from", env.Name)
+	}
+	// Centroids must be distinct after discretisation, or two "families"
+	// would merge into one ring position with a shared store.
+	rows, err := env.Tuples(shardFamilies * 4)
+	if err != nil {
+		return nil, 0, err
+	}
+	seen := map[uint64]bool{}
+	var centroids [][]float64
+	for _, row := range rows {
+		sig := router.Signature(env.Stats.ItemizeRow(row, nil))
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		centroids = append(centroids, row)
+		if len(centroids) == shardFamilies {
+			break
+		}
+	}
+	if len(centroids) < shardFamilies {
+		return nil, 0, fmt.Errorf("sharded: only %d discretisation-distinct centroids in %d test rows", len(centroids), len(rows))
+	}
+
+	families := make([][][]float64, shardFamilies)
+	for f, centroid := range centroids {
+		families[f] = make([][]float64, shardVariants)
+		families[f][0] = centroid
+		base := env.Stats.ItemizeRow(centroid, nil)
+		for v := 1; v < shardVariants; v++ {
+			variant, err := inBinVariant(env.Stats, centroid, numIdx, v)
+			if err != nil {
+				return nil, 0, err
+			}
+			got := env.Stats.ItemizeRow(variant, nil)
+			if router.Signature(got) != router.Signature(base) {
+				return nil, 0, fmt.Errorf("sharded: family %d variant %d changed its discretised signature", f, v)
+			}
+			families[f][v] = variant
+		}
+	}
+	distinct := make([][]float64, 0, shardFamilies*shardVariants)
+	for v := 0; v < shardVariants; v++ {
+		for f := 0; f < shardFamilies; f++ {
+			distinct = append(distinct, families[f][v])
+		}
+	}
+	workload := append([][]float64(nil), distinct...)
+	rng := rand.New(rand.NewSource(seed + 41))
+	for w := 0; w < shardReplays; w++ {
+		perm := rng.Perm(len(distinct))
+		for _, i := range perm {
+			workload = append(workload, distinct[i])
+		}
+	}
+	return workload, len(distinct), nil
+}
+
+// inBinVariant returns a copy of row with one numeric attribute nudged
+// by an epsilon small enough to stay in its discretisation bin. The
+// attribute cycles with v so variants differ from each other as well as
+// from the centroid.
+func inBinVariant(st *dataset.Stats, row []float64, numIdx []int, v int) ([]float64, error) {
+	out := append([]float64(nil), row...)
+	attr := numIdx[(v-1)%len(numIdx)]
+	base := out[attr]
+	scale := math.Max(1, math.Abs(base))
+	for _, eps := range []float64{1e-7, -1e-7, 1e-10, -1e-10} {
+		cand := base + float64(v)*eps*scale
+		if cand != base && st.Bin(attr, cand) == st.Bin(attr, base) {
+			out[attr] = cand
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("sharded: cannot nudge attribute %d value %v without leaving its bin", attr, base)
+}
+
+// shardStack is one in-process shahin-serve replica: warm explainer,
+// server, and HTTP listener on a stable address (a restart rebinds the
+// same port so the ring position keeps pointing at it).
+type shardStack struct {
+	env  *Env
+	cfg  Config
+	rec  *obs.Recorder
+	addr string
+	warm *core.Warm
+	srv  *serve.Server
+	hsrv *http.Server
+}
+
+// start builds a fresh warm explainer and serve stack and begins
+// listening on addr ("127.0.0.1:0" picks the stable port).
+func (s *shardStack) start(addr string) error {
+	opts := s.cfg.Options(core.LIME)
+	// A bounded pool build keeps the per-replica warm-up cost in scale
+	// with this workload, the same proportion a production pool build
+	// has to real traffic volume.
+	opts.MaxItemsets = shardMaxItemsets
+	warm, err := core.NewWarm(s.env.Stats, s.env.Classifier(), opts, 0)
+	if err != nil {
+		return err
+	}
+	// BatchMax 1 flushes every request on its own: with the sequential
+	// client below, flush composition — and therefore every reuse and
+	// invocation count — is identical on every run.
+	srv, err := serve.New(warm, serve.Config{
+		BatchWindow: time.Millisecond,
+		BatchMax:    1,
+		Recorder:    s.rec,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.addr = ln.Addr().String()
+	s.warm, s.srv = warm, srv
+	s.hsrv = &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.hsrv.Serve(ln) //shahinvet:allow errcheck — always returns ErrServerClosed after Close
+	return nil
+}
+
+// kill hard-stops the replica: listener and live connections close,
+// nothing is drained — the store dies with the process, which is
+// exactly the failure peer snapshot recovery exists for.
+func (s *shardStack) kill() {
+	s.hsrv.Close() //shahinvet:allow errcheck — a hard kill has no error to handle
+}
+
+// restart rebinds the replica's original port with a fresh stack. The
+// OS may briefly hold the port after the kill, so binding retries.
+func (s *shardStack) restart() error {
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		if lastErr = s.start(s.addr); lastErr == nil {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("sharded: rebinding %s: %w", s.addr, lastErr)
+}
+
+// newShardFleet starts n replicas and a router over them.
+func newShardFleet(env *Env, cfg Config, policy router.Policy, n int) ([]*shardStack, *router.Router, error) {
+	fleet := make([]*shardStack, n)
+	urls := make([]string, n)
+	for i := range fleet {
+		fleet[i] = &shardStack{env: env, cfg: cfg, rec: cfg.Recorder}
+		if err := fleet[i].start("127.0.0.1:0"); err != nil {
+			return nil, nil, err
+		}
+		urls[i] = "http://" + fleet[i].addr
+	}
+	rt, err := router.New(router.Config{
+		Replicas: urls,
+		Stats:    env.Stats,
+		Policy:   policy,
+		// Probes are driven explicitly (ProbeNow) so health transitions
+		// happen at deterministic points in the request stream.
+		ProbeInterval: time.Hour,
+		Breaker:       fault.Config{BreakerThreshold: 2, BreakerCooldownCalls: 1},
+		Recorder:      cfg.Recorder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fleet, rt, nil
+}
+
+// shardPhase aggregates one phase's outcome across every warm explainer
+// that participated (a restarted replica contributes both instances).
+type shardPhase struct {
+	requests    int
+	demand      int64 // requests x per-explanation sample budget
+	reused      int64
+	invocations int64
+	failed      int
+	degraded    int
+	failovers   int
+	restored    int
+	storeHits   int
+}
+
+// reuse returns the phase's aggregate reuse: the fraction of the
+// stream's total labelling demand (requests x sample budget) that was
+// NOT paid as fresh classifier invocations — i.e. met from pooled
+// perturbations or stored explanations. Per-replica pool builds count
+// against it, so sharding only scores well when locality actually
+// amortises the fleet's warm-up.
+func (p *shardPhase) reuse() float64 {
+	if p.demand == 0 {
+		return 0
+	}
+	return 1 - float64(p.invocations)/float64(p.demand)
+}
+
+// absorb adds a warm explainer's report into the phase aggregate.
+func (p *shardPhase) absorb(rep core.Report) {
+	p.reused += rep.ReusedSamples
+	p.invocations += rep.Invocations
+	p.failed += rep.Failed
+}
+
+// shardPost sends one tuple through the router and requires an answered
+// explanation.
+func shardPost(client *http.Client, base string, tuple []float64) (router.ExplainResponse, error) {
+	var out router.ExplainResponse
+	b, err := json.Marshal(serve.ExplainRequest{Tuple: tuple})
+	if err != nil {
+		return out, err
+	}
+	resp, err := client.Post(base+"/v1/explain", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	if out.Status != "ok" {
+		return out, fmt.Errorf("answered status %q, want ok", out.Status)
+	}
+	return out, nil
+}
+
+// runShardPhase streams the workload sequentially through a fresh
+// fleet under the given policy and aggregates the fleet's reports.
+func runShardPhase(env *Env, cfg Config, policy router.Policy, n int, workload [][]float64) (*shardPhase, error) {
+	fleet, rt, err := newShardFleet(env, cfg, policy, n)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		rt.Close()
+		for _, s := range fleet {
+			s.kill()
+		}
+	}()
+	lsrv, base, err := listenRouter(rt)
+	if err != nil {
+		return nil, err
+	}
+	defer lsrv.Close() //shahinvet:allow errcheck — best-effort teardown after the workload
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	for i, tuple := range workload {
+		r, err := shardPost(client, base, tuple)
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		if r.Route.Degraded {
+			return nil, fmt.Errorf("request %d marked degraded with a fully healthy fleet", i)
+		}
+	}
+	phase := &shardPhase{requests: len(workload), demand: int64(len(workload)) * int64(cfg.LIMESamples)}
+	for _, s := range fleet {
+		phase.absorb(s.warm.Report())
+	}
+	return phase, nil
+}
+
+// listenRouter mounts the router's handler on a real listener, since
+// the experiment exercises the same HTTP surface operators deploy.
+func listenRouter(rt *router.Router) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hsrv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go hsrv.Serve(ln) //shahinvet:allow errcheck — always returns ErrServerClosed after Close
+	return hsrv, "http://" + ln.Addr().String(), nil
+}
+
+// tupleKey identifies a tuple by its exact cell values — the same
+// identity the explanation store uses.
+func tupleKey(tuple []float64) string { return fmt.Sprintf("%v", tuple) }
+
+// runShardChaos streams the workload under affinity routing, kills the
+// replica owning family 0 halfway through, lets the rest of the stream
+// fail over, then restarts the victim, warms it from the peer that
+// covered for it, and replays the victim's tuples to prove the ones its
+// fallback served come back as local store hits.
+func runShardChaos(env *Env, cfg Config, workload [][]float64, distinct int) (*shardPhase, error) {
+	fleet, rt, err := newShardFleet(env, cfg, router.PolicyAffinity, shardReplicas)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		rt.Close()
+		for _, s := range fleet {
+			s.kill()
+		}
+	}()
+	lsrv, base, err := listenRouter(rt)
+	if err != nil {
+		return nil, err
+	}
+	defer lsrv.Close() //shahinvet:allow errcheck — best-effort teardown after the workload
+
+	// The router and the experiment share one ring construction, so the
+	// experiment can compute each tuple's owner and failover order.
+	ring := router.NewRing(shardReplicas, router.DefaultVNodes)
+	owner := func(tuple []float64) int {
+		return ring.Lookup(router.Signature(env.Stats.ItemizeRow(tuple, nil)))
+	}
+	victim := owner(workload[0]) // family 0's owner
+	victimName := fmt.Sprintf("replica%d", victim)
+	fallback := ring.Sequence(router.Signature(env.Stats.ItemizeRow(workload[0], nil)), nil)[1]
+	fallbackName := fmt.Sprintf("replica%d", fallback)
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	phase := &shardPhase{requests: len(workload), demand: int64(len(workload)) * int64(cfg.LIMESamples)}
+	killAt := len(workload) / 2
+	if killAt <= distinct {
+		killAt = distinct + (len(workload)-distinct)/2
+	}
+
+	// Pre-kill: healthy fleet, distinct prefix plus early repeat
+	// traffic, all answered at the affinity owner.
+	for i := 0; i < killAt; i++ {
+		r, err := shardPost(client, base, workload[i])
+		if err != nil {
+			return nil, fmt.Errorf("sharded chaos: request %d: %w", i, err)
+		}
+		if r.Route.Degraded {
+			return nil, fmt.Errorf("sharded chaos: request %d degraded before the kill", i)
+		}
+	}
+
+	// Kill the victim mid-stream; its store (every family it served so
+	// far) dies with it.
+	retiredReport := fleet[victim].warm.Report()
+	fleet[victim].kill()
+
+	// Outage window: the victim's tuples must fail over in ring order,
+	// answered and marked degraded — never dropped. servedBy records
+	// which surviving replica covered each victim-owned tuple.
+	servedBy := make(map[string]string)
+	for i := killAt; i < len(workload); i++ {
+		r, err := shardPost(client, base, workload[i])
+		if err != nil {
+			return nil, fmt.Errorf("sharded chaos: request %d during outage: %w", i, err)
+		}
+		if owner(workload[i]) == victim {
+			if !r.Route.Degraded {
+				return nil, fmt.Errorf("sharded chaos: request %d owned by dead %s not marked degraded", i, victimName)
+			}
+			if r.Route.Replica == victimName {
+				return nil, fmt.Errorf("sharded chaos: request %d answered by the dead replica", i)
+			}
+			phase.degraded++
+			servedBy[tupleKey(workload[i])] = r.Route.Replica
+		} else if r.Route.Degraded {
+			return nil, fmt.Errorf("sharded chaos: request %d degraded though its owner %s is alive", i, r.Route.Replica)
+		}
+		if r.Route.Failovers > 0 {
+			phase.failovers++
+		}
+	}
+	if phase.degraded == 0 {
+		return nil, fmt.Errorf("sharded chaos: the dead replica owned no outage-window tuples — workload does not exercise failover")
+	}
+	if phase.failovers == 0 {
+		return nil, fmt.Errorf("sharded chaos: no transport-error failover observed")
+	}
+
+	// Restart the victim on its original port and warm it from family
+	// 0's first fallback — the node that covered its tuples during the
+	// outage — through serve's checksummed, version-gated /snapshot.
+	if err := fleet[victim].restart(); err != nil {
+		return nil, err
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	restored, err := fleet[victim].srv.RestoreFromPeers(rctx,
+		[]string{"http://" + fleet[fallback].addr}, client)
+	if err != nil {
+		return nil, fmt.Errorf("sharded chaos: peer snapshot recovery: %w", err)
+	}
+	if restored == 0 {
+		return nil, fmt.Errorf("sharded chaos: peer snapshot restored nothing")
+	}
+	phase.restored = restored
+
+	// Probes re-admit the replica at a deterministic point: health flag
+	// up, breaker trial passed.
+	rt.ProbeNow()
+	rt.ProbeNow()
+	rt.ProbeNow()
+
+	// Replay every victim-owned distinct tuple. All must come back from
+	// the victim, un-degraded; the ones its fallback computed during
+	// the outage must be answered from the peer-restored store without
+	// recomputation.
+	for i := 0; i < distinct; i++ {
+		tuple := workload[i]
+		if owner(tuple) != victim {
+			continue
+		}
+		r, err := shardPost(client, base, tuple)
+		if err != nil {
+			return nil, fmt.Errorf("sharded chaos: replay of request %d: %w", i, err)
+		}
+		if r.Route.Replica != victimName || r.Route.Degraded {
+			return nil, fmt.Errorf("sharded chaos: replay of request %d routed to %s (degraded=%v), want recovered %s",
+				i, r.Route.Replica, r.Route.Degraded, victimName)
+		}
+		if servedBy[tupleKey(tuple)] == fallbackName {
+			if r.Source != "store" {
+				return nil, fmt.Errorf("sharded chaos: replay of request %d answered from %q, want the peer-restored store", i, r.Source)
+			}
+			phase.storeHits++
+		}
+	}
+	if phase.storeHits == 0 {
+		return nil, fmt.Errorf("sharded chaos: no replay was answered from the peer-restored snapshot")
+	}
+
+	phase.absorb(retiredReport)
+	for _, s := range fleet {
+		phase.absorb(s.warm.Report())
+	}
+	if phase.failed != 0 {
+		return nil, fmt.Errorf("sharded chaos: %d failed tuples", phase.failed)
+	}
+	return phase, nil
+}

@@ -40,15 +40,34 @@ func Shutdown(parent context.Context) (ctx context.Context, stop func()) {
 // exit(1) after noting the forced shutdown on logw.
 func shutdownContext(parent context.Context, sigs <-chan os.Signal, exit func(int), logw io.Writer) (context.Context, context.CancelFunc) {
 	ctx, cancel := context.WithCancel(parent)
+	// Both selects below can have a signal and a finished run ready at
+	// once, and select picks arbitrarily — so a signal received while
+	// the run is already over must be re-checked against parent.Done()
+	// before it counts, or a late Ctrl-C could force-exit a process
+	// that finished cleanly.
+	parentLive := func() bool {
+		select {
+		case <-parent.Done():
+			return false
+		default:
+			return true
+		}
+	}
 	go func() {
 		select {
 		case <-sigs:
+			if !parentLive() {
+				return
+			}
 		case <-ctx.Done():
 			return
 		}
 		cancel()
 		select {
 		case <-sigs:
+			if !parentLive() {
+				return
+			}
 			fmt.Fprintln(logw, "second signal: forcing exit without graceful drain")
 			exit(1)
 		case <-parent.Done():

@@ -17,8 +17,10 @@ const (
 	// BreakerOpen rejects calls without touching the backend until the
 	// cooldown elapses.
 	BreakerOpen
-	// BreakerHalfOpen lets probe calls through: one success closes the
-	// breaker, one failure re-opens it.
+	// BreakerHalfOpen lets exactly one trial call through at a time:
+	// its success closes the breaker, its failure re-opens it, and
+	// concurrent calls arriving while the trial is in flight are
+	// rejected with ErrBreakerOpen.
 	BreakerHalfOpen
 )
 
@@ -48,12 +50,14 @@ func (s BreakerState) String() string {
 // bumps the breaker counters.
 type Breaker struct {
 	inner         FallibleClassifier
+	name          string // labels events and the state gauge; "" for the chain breaker
 	threshold     int
 	cooldown      time.Duration
 	cooldownCalls int64
 
 	mu       sync.Mutex
 	state    BreakerState
+	probing  bool      // a half-open trial call is in flight
 	fails    int       // consecutive failures while closed/half-open
 	rejected int64     // rejections since the breaker last opened
 	reopenAt time.Time // wall-clock probe time while open
@@ -92,8 +96,46 @@ func NewBreaker(inner FallibleClassifier, cfg Config, rec *obs.Recorder) *Breake
 	return b
 }
 
-// NumClasses implements FallibleClassifier.
-func (b *Breaker) NumClasses() int { return b.inner.NumClasses() }
+// NewOpBreaker builds a named, classifier-free breaker for arbitrary
+// operations driven through Do — the router uses one per replica to
+// guard forwarded requests and health probes. The name labels the
+// breaker's state gauge (GaugeBreakerState plus a "_<name>" suffix)
+// and its transition events, so multiple op breakers on one recorder
+// stay distinguishable. NumClasses reports zero; PredictCtx must not
+// be used.
+func NewOpBreaker(cfg Config, rec *obs.Recorder, name string) *Breaker {
+	ctrs := newChainCounters(rec)
+	gaugeName := obs.GaugeBreakerState
+	if name != "" {
+		gaugeName += "_" + name
+	}
+	b := &Breaker{
+		name:          name,
+		threshold:     cfg.BreakerThreshold,
+		cooldown:      cfg.BreakerCooldown,
+		cooldownCalls: cfg.BreakerCooldownCalls,
+		rec:           rec,
+		opensCtr:      ctrs.opens,
+		rejectedCtr:   ctrs.rejected,
+		stateGauge:    rec.Gauge(gaugeName),
+	}
+	b.stateGauge.Set(int64(BreakerClosed))
+	if b.threshold <= 0 {
+		b.threshold = 5
+	}
+	if b.cooldown <= 0 && b.cooldownCalls <= 0 {
+		b.cooldownCalls = 100
+	}
+	return b
+}
+
+// NumClasses implements FallibleClassifier (zero for an op breaker).
+func (b *Breaker) NumClasses() int {
+	if b.inner == nil {
+		return 0
+	}
+	return b.inner.NumClasses()
+}
 
 // State returns the current breaker state.
 func (b *Breaker) State() BreakerState {
@@ -105,6 +147,35 @@ func (b *Breaker) State() BreakerState {
 // PredictCtx implements FallibleClassifier: fail fast while open,
 // otherwise pass through and track the outcome.
 func (b *Breaker) PredictCtx(ctx context.Context, x []float64) (int, error) {
+	wasProbe, err := b.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	y, err := b.inner.PredictCtx(ctx, x)
+	if err := b.settle(ctx, err, wasProbe); err != nil {
+		return 0, err
+	}
+	return y, nil
+}
+
+// Do runs op under the breaker's admission and outcome accounting:
+// rejected with ErrBreakerOpen while open (or while another half-open
+// trial is in flight), otherwise op's error trips the breaker exactly
+// like a failed predict. Context-cancellation errors from op are
+// passed through without counting against the backend.
+func (b *Breaker) Do(ctx context.Context, op func(context.Context) error) error {
+	wasProbe, err := b.admit(ctx)
+	if err != nil {
+		return err
+	}
+	return b.settle(ctx, op(ctx), wasProbe)
+}
+
+// admit decides whether a call may reach the backend. It returns
+// wasProbe=true when this call is the single half-open trial — the
+// caller must hand that flag back to settle so the probing slot is
+// released whatever the outcome.
+func (b *Breaker) admit(ctx context.Context) (wasProbe bool, err error) {
 	b.mu.Lock()
 	if b.state == BreakerOpen {
 		ready := b.cooldownCalls > 0 && b.rejected >= b.cooldownCalls
@@ -116,31 +187,51 @@ func (b *Breaker) PredictCtx(ctx context.Context, x []float64) (int, error) {
 			b.mu.Unlock()
 			b.rejectedTotal.Add(1)
 			b.rejectedCtr.Inc()
-			return 0, ErrBreakerOpen
+			return false, ErrBreakerOpen
 		}
 		b.transition(ctx, BreakerHalfOpen)
 	}
+	if b.state == BreakerHalfOpen {
+		// Exactly one trial call probes the backend; concurrent calls
+		// lose the race and are rejected as if the breaker were open.
+		if b.probing {
+			b.mu.Unlock()
+			b.rejectedTotal.Add(1)
+			b.rejectedCtr.Inc()
+			return false, ErrBreakerOpen
+		}
+		b.probing = true
+		wasProbe = true
+	}
 	b.mu.Unlock()
+	return wasProbe, nil
+}
 
-	y, err := b.inner.PredictCtx(ctx, x)
-
+// settle records a call's outcome and returns err unchanged. A probe
+// always releases the probing slot, even when the caller gave up:
+// cancellation neither closes nor re-opens the breaker, it just frees
+// the slot for the next trial.
+func (b *Breaker) settle(ctx context.Context, err error, wasProbe bool) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if wasProbe {
+		b.probing = false
+	}
 	if err != nil {
 		if canceled(err) {
-			return 0, err // the caller gave up; not the backend's fault
+			return err // the caller gave up; not the backend's fault
 		}
 		b.fails++
-		if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.threshold) {
+		if (b.state == BreakerHalfOpen && wasProbe) || (b.state == BreakerClosed && b.fails >= b.threshold) {
 			b.open(ctx)
 		}
-		return 0, err
+		return err
 	}
 	b.fails = 0
-	if b.state == BreakerHalfOpen {
+	if b.state == BreakerHalfOpen && wasProbe {
 		b.transition(ctx, BreakerClosed)
 	}
-	return y, nil
+	return nil
 }
 
 // open moves to BreakerOpen, arming both cooldown clocks. Caller holds mu.
@@ -168,6 +259,7 @@ func (b *Breaker) transition(ctx context.Context, to BreakerState) {
 		Type:  obs.EventBreakerState,
 		Tuple: -1,
 		State: edge,
+		Name:  b.name,
 	})
 	if sp := obs.SpanFromContext(ctx); sp != nil {
 		c := sp.Child("breaker")

@@ -79,6 +79,11 @@ type Event struct {
 	Goroutines int64 `json:"goroutines,omitempty"`
 	// State is a breaker_state transition edge ("closed->open").
 	State string `json:"state,omitempty"`
+	// Name identifies which instance emitted the event when several
+	// share one recorder: a breaker_state event from a router's
+	// per-replica breaker carries that replica's name here ("" for the
+	// classifier chain's single breaker).
+	Name string `json:"name,omitempty"`
 	// Status marks a tuple_explained event whose tuple was answered
 	// degraded (pooled/cached labels) or failed; empty means ok.
 	Status string `json:"status,omitempty"`

@@ -112,6 +112,25 @@ const (
 	GaugeWarmPooledItemsets = "warm_pooled_itemsets"
 	GaugeServeStoreSize     = "serve_store_size"
 	GaugeBreakerState       = "fault_breaker_state"
+
+	// Router-tier metrics, maintained by internal/router.
+	// CounterRouterRequests counts requests accepted by the front tier;
+	// CounterRouterFailovers forwards re-routed to a fallback ring node
+	// after the affinity replica failed or was open;
+	// CounterRouterShed requests refused at admission with 429 because
+	// the in-flight bound was reached; CounterRouterUnrouted requests
+	// for which every replica in the failover sequence failed (returned
+	// as 503, never dropped). HistRouterRequest is the end-to-end
+	// router-side request latency. Per-replica health rides gauges named
+	// GaugeReplicaUpPrefix + the replica name (1 healthy, 0 unhealthy)
+	// next to the per-replica breaker-state gauges (GaugeBreakerState +
+	// "_" + name).
+	CounterRouterRequests  = "router_requests"
+	CounterRouterFailovers = "router_failovers"
+	CounterRouterShed      = "router_shed"
+	CounterRouterUnrouted  = "router_unrouted"
+	HistRouterRequest      = "router_request_ns"
+	GaugeReplicaUpPrefix   = "router_replica_up_"
 )
 
 // Recorder collects spans, counters, gauges, and histograms from a run

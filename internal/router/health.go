@@ -1,0 +1,109 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"shahin/internal/fault"
+)
+
+// runProber actively checks every replica's /healthz on the configured
+// interval. Probes ride the same per-replica breaker as forwarded
+// traffic, so a recovered replica's first successful probe is the
+// half-open trial that closes its breaker and a dead replica's breaker
+// stays open without burning request latency on it.
+func (rt *Router) runProber() {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.lifecycle.Done():
+			return
+		case <-ticker.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll runs one probe round over every replica.
+func (rt *Router) probeAll() {
+	for _, rp := range rt.replicas {
+		rt.probe(rp)
+	}
+}
+
+// probe health-checks one replica through its breaker and records the
+// verdict. A probe rejected by an open breaker leaves the health flag
+// untouched — the breaker is already saying "down", and its cooldown
+// accounting advances toward the next half-open trial.
+func (rt *Router) probe(rp *replica) {
+	err := rp.breaker.Do(rt.lifecycle, func(ctx context.Context) error {
+		pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, rp.base+"/healthz", nil)
+		if err != nil {
+			return fmt.Errorf("%w: building probe: %w", errReplicaFailed, err)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("%w: probe: %w", errReplicaFailed, err)
+		}
+		resp.Body.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%w: probe answered %s", errReplicaFailed, resp.Status)
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		rp.setHealthy(true)
+	case errors.Is(err, fault.ErrBreakerOpen):
+		// The breaker already says "down"; its cooldown accounting just
+		// advanced toward the next half-open trial. Leave the flag.
+	default:
+		rp.setHealthy(false)
+	}
+}
+
+// ReplicaStatus is one row of the GET /replicas answer.
+type ReplicaStatus struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
+}
+
+// Status reports every replica's current health and breaker state, in
+// replica order.
+func (rt *Router) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(rt.replicas))
+	for i, rp := range rt.replicas {
+		out[i] = ReplicaStatus{
+			Name:    rp.name,
+			URL:     rp.base,
+			Healthy: rp.healthy.Load(),
+			Breaker: rp.breaker.State().String(),
+		}
+	}
+	return out
+}
+
+// ProbeNow runs one synchronous probe round; tests and experiments use
+// it to advance health state deterministically instead of waiting out
+// the ticker.
+func (rt *Router) ProbeNow() { rt.probeAll() }
+
+// Healthy reports how many replicas are currently marked healthy.
+func (rt *Router) Healthy() int {
+	n := 0
+	for _, rp := range rt.replicas {
+		if rp.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}

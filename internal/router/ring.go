@@ -1,0 +1,186 @@
+package router
+
+import "shahin/internal/dataset"
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters, inlined
+// so Signature allocates nothing (hash/fnv's object would escape).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Signature hashes a tuple's discretised item vector — the output of
+// Stats.ItemizeRow, one (attribute, bin) item per attribute in
+// ascending order — into the 64-bit routing key. Tuples identical
+// after discretisation share a signature, so the ring pins them to the
+// same replica and their perturbation pools stay shared. FNV-1a over
+// each item's four packed bytes, little-endian.
+//
+//shahin:hotpath
+func Signature(items []dataset.Item) uint64 {
+	h := fnvOffset64
+	for _, it := range items {
+		v := uint32(it)
+		h = (h ^ uint64(v&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(v>>24)) * fnvPrime64
+	}
+	return h
+}
+
+// vnode is one virtual point on the hash ring.
+type vnode struct {
+	hash    uint64
+	replica int
+}
+
+// Ring is a consistent-hash ring: each of n replicas owns vnodesPer
+// virtual points, and a signature routes to the replica owning the
+// first point at or clockwise after it. Virtual points smooth the key
+// distribution and keep reassignment local when a replica leaves —
+// only the keys on its own points move, everyone else's stay put.
+// A Ring is immutable after NewRing and safe for concurrent use.
+type Ring struct {
+	vnodes   []vnode
+	replicas int
+}
+
+// DefaultVNodes is the virtual-point count per replica when the
+// configuration does not override it.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over replicas 0..n-1 with vnodesPer virtual
+// points each (DefaultVNodes when <= 0). Point placement is a
+// deterministic hash of (replica, point index): the same inputs build
+// byte-identical rings in every process.
+func NewRing(n, vnodesPer int) *Ring {
+	if vnodesPer <= 0 {
+		vnodesPer = DefaultVNodes
+	}
+	r := &Ring{vnodes: make([]vnode, 0, n*vnodesPer), replicas: n}
+	for rep := 0; rep < n; rep++ {
+		for i := 0; i < vnodesPer; i++ {
+			r.vnodes = append(r.vnodes, vnode{
+				hash:    mix64(uint64(rep)<<32 | uint64(i)),
+				replica: rep,
+			})
+		}
+	}
+	sortVnodes(r.vnodes)
+	return r
+}
+
+// mix64 is splitmix64's finalizer: a cheap, stateless bijection that
+// spreads the (replica, index) pairs uniformly around the ring.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sortVnodes is an insertion-free heapless sort over the vnode slice.
+// Ties on hash (astronomically unlikely) break by replica index so the
+// ring is a total deterministic order.
+func sortVnodes(v []vnode) {
+	// The slice is built once at startup; simple heapsort avoids
+	// pulling sort.Slice's closure machinery into the package.
+	n := len(v)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(v, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		v[0], v[end] = v[end], v[0]
+		siftDown(v, 0, end)
+	}
+}
+
+func vnodeLess(a, b vnode) bool {
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.replica < b.replica
+}
+
+func siftDown(v []vnode, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && vnodeLess(v[child], v[child+1]) {
+			child++
+		}
+		if !vnodeLess(v[root], v[child]) {
+			return
+		}
+		v[root], v[child] = v[child], v[root]
+		root = child
+	}
+}
+
+// Lookup maps a signature to its owning replica: the replica of the
+// first virtual point with hash >= sig, wrapping to the ring's start.
+// Manual binary search — sort.Search's closure would allocate on the
+// per-request routing path.
+//
+//shahin:hotpath
+func (r *Ring) Lookup(sig uint64) int {
+	v := r.vnodes
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].hash < sig {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(v) {
+		lo = 0
+	}
+	return v[lo].replica
+}
+
+// Sequence writes the failover order for sig into buf: the owning
+// replica first, then each further distinct replica in ring order. The
+// result always lists every replica exactly once, so a caller that
+// walks it to the end has offered the request to the whole fleet. buf
+// is reused when large enough.
+func (r *Ring) Sequence(sig uint64, buf []int) []int {
+	if cap(buf) < r.replicas {
+		buf = make([]int, r.replicas)
+	}
+	buf = buf[:0]
+	v := r.vnodes
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].hash < sig {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(v) {
+		lo = 0
+	}
+	for i := 0; i < len(v) && len(buf) < r.replicas; i++ {
+		rep := v[(lo+i)%len(v)].replica
+		seen := false
+		for _, b := range buf {
+			if b == rep {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			buf = append(buf, rep)
+		}
+	}
+	return buf
+}
+
+// Replicas returns the replica count the ring was built over.
+func (r *Ring) Replicas() int { return r.replicas }

@@ -1,16 +1,19 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"shahin/internal/core"
 	"shahin/internal/obs"
+	"shahin/internal/store"
 )
 
 // ExplainRequest is the POST /v1/explain body: one raw tuple in the
@@ -39,6 +42,10 @@ type ExplainResponse struct {
 	WaitMS      float64             `json:"wait_ms"`
 	TraceID     string              `json:"trace_id,omitempty"`
 	Stages      *obs.StageBreakdown `json:"stages,omitempty"`
+	// Error explains a rejected tuple (source "rejected"): "draining"
+	// rejections answer 503, queue-full load shedding answers 429, both
+	// with a Retry-After header. Empty on served tuples.
+	Error string `json:"error,omitempty"`
 }
 
 // BatchResponse is the POST /v1/explain/batch answer: one
@@ -63,6 +70,7 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/explain/batch  explain a batch of tuples
 //	GET  /healthz           liveness (200 while the process runs)
 //	GET  /readyz            readiness (503 before start and while draining)
+//	GET  /snapshot          explanation-store snapshot (checksummed, versioned)
 //	GET  /slo               SLO objective status (compliance, burn rate)
 //	GET  /requests          slow-request exemplars (?trace=<id> for one)
 //
@@ -73,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/batch", s.handleBatch)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /slo", obs.SLOHandler(s.rec))
 	mux.HandleFunc("GET /requests", obs.RequestsHandler(s.rec))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -91,6 +100,45 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// Transport headers on GET /snapshot answers: the snapshot's schema
+// version and an FNV-64a checksum over the response body, so a peer
+// can reject a damaged or incompatible transfer before decoding it.
+const (
+	headerStoreVersion  = "X-Shahin-Store-Version"
+	headerStoreChecksum = "X-Shahin-Store-Checksum"
+	headerStoreCount    = "X-Shahin-Store-Count"
+)
+
+// handleSnapshot answers GET /snapshot with the explanation store in
+// the versioned snapshot format store.Save writes, plus transport
+// headers (version, checksum, entry count). It keeps answering during
+// drain — a draining replica is exactly the peer a restarted neighbour
+// wants to warm from.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	s.storeMu.RLock()
+	err := s.store.Save(&buf)
+	count := s.store.Len()
+	s.storeMu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(headerStoreVersion, strconv.FormatUint(uint64(store.SnapshotVersion), 10))
+	w.Header().Set(headerStoreChecksum, fmt.Sprintf("%016x", store.Fingerprint(buf.Bytes())))
+	w.Header().Set(headerStoreCount, strconv.Itoa(count))
+	w.Write(buf.Bytes()) //shahinvet:allow errcheck — the status line is already sent; a broken client pipe has no recovery
+}
+
+// setRetryAfter marks shed and draining answers as retryable so
+// clients and front tiers back off instead of hammering.
+func setRetryAfter(w http.ResponseWriter, code int) {
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+}
+
 // handleExplain answers POST /v1/explain.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req ExplainRequest
@@ -105,6 +153,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	tc, parent := requestTrace(r)
 	setTraceHeaders(w, tc)
 	resp, code := s.explainOne(r, req.Tuple, tc, parent)
+	setRetryAfter(w, code)
 	writeJSON(w, code, resp)
 }
 
@@ -151,6 +200,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			code = c
 		}
 	}
+	setRetryAfter(w, code)
 	writeJSON(w, code, resp)
 }
 
@@ -203,9 +253,17 @@ func (s *Server) explainOne(r *http.Request, tuple []float64, tc obs.TraceContex
 	}
 	req, err := s.admit(ctx, tuple)
 	if err != nil {
-		wait := s.finishRequest(root, tc, parent, start, nil, "rejected", core.StatusFailed.String(), 0, http.StatusServiceUnavailable)
-		return ExplainResponse{Status: core.StatusFailed.String(), Source: "rejected", WaitMS: wait, TraceID: tc.TraceID},
-			http.StatusServiceUnavailable
+		// Draining is 503 (the replica is going away; a front tier
+		// should fail over); a full queue is 429 load shedding (the
+		// replica is alive but saturated; the caller should back off).
+		// Both answer a JSON body naming the reason, never a hang.
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, errQueueFull) {
+			code = http.StatusTooManyRequests
+		}
+		wait := s.finishRequest(root, tc, parent, start, nil, "rejected", core.StatusFailed.String(), 0, code)
+		return ExplainResponse{Status: core.StatusFailed.String(), Source: "rejected", WaitMS: wait, TraceID: tc.TraceID, Error: err.Error()},
+			code
 	}
 	select {
 	case out := <-req.done:

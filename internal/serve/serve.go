@@ -20,10 +20,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -385,6 +389,76 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	})
 	return s.drainErr
+}
+
+// maxPeerSnapshotBytes bounds a peer snapshot download (64 MiB — far
+// above any store a bench or serving deployment produces today).
+const maxPeerSnapshotBytes = 64 << 20
+
+// RestoreFromPeers warms this server's explanation store from a ring
+// neighbour: it fetches GET <peer>/snapshot from each peer URL in
+// order and installs the first snapshot that passes the transport
+// checksum, the schema-version gate, and store.Load's own header
+// validation. The installed snapshot replaces the current store
+// wholesale, so call it right after New — before traffic — on a
+// restarted replica. It returns the number of explanations restored.
+func (s *Server) RestoreFromPeers(ctx context.Context, peers []string, client *http.Client) (int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var errs []error
+	for _, peer := range peers {
+		n, err := s.restoreFromPeer(ctx, peer, client)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", peer, err))
+			continue
+		}
+		return n, nil
+	}
+	if len(errs) == 0 {
+		return 0, errors.New("serve: RestoreFromPeers: no peers given")
+	}
+	return 0, fmt.Errorf("serve: no peer could supply a snapshot: %w", errors.Join(errs...))
+}
+
+// restoreFromPeer fetches and installs one peer's snapshot.
+func (s *Server) restoreFromPeer(ctx context.Context, peer string, client *http.Client) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/snapshot", nil)
+	if err != nil {
+		return 0, fmt.Errorf("building snapshot request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("fetching snapshot: %w", err)
+	}
+	defer resp.Body.Close() //shahinvet:allow errcheck — read-only close cannot lose data
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("snapshot endpoint answered %s", resp.Status)
+	}
+	if v := resp.Header.Get(headerStoreVersion); v != "" && v != strconv.FormatUint(uint64(store.SnapshotVersion), 10) {
+		return 0, fmt.Errorf("peer snapshot schema version %s, this binary reads version %d", v, store.SnapshotVersion)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerSnapshotBytes+1))
+	if err != nil {
+		return 0, fmt.Errorf("reading snapshot body: %w", err)
+	}
+	if len(body) > maxPeerSnapshotBytes {
+		return 0, fmt.Errorf("snapshot body exceeds the %d-byte cap", maxPeerSnapshotBytes)
+	}
+	if want := resp.Header.Get(headerStoreChecksum); want != "" {
+		if got := fmt.Sprintf("%016x", store.Fingerprint(body)); got != want {
+			return 0, fmt.Errorf("snapshot transport checksum mismatch: header %s, body %s", want, got)
+		}
+	}
+	st, err := store.Load(bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	s.storeMu.Lock()
+	s.store = st
+	s.storeMu.Unlock()
+	s.rec.Gauge(obs.GaugeServeStoreSize).Set(int64(st.Len()))
+	return st.Len(), nil
 }
 
 // saveStore snapshots the explanation store to StorePath (no-op when

@@ -7,6 +7,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -109,16 +110,56 @@ type persisted struct {
 	Entries []entry
 }
 
-// Save serialises the store with encoding/gob. Entries are sorted by
-// tuple so the byte stream is identical for identical contents — map
-// iteration order must not leak into persisted artifacts.
+// SnapshotVersion is the schema version stamped into every snapshot
+// header. Bump it whenever the gob wire format changes incompatibly;
+// Load rejects snapshots written under any other version instead of
+// decoding garbage.
+const SnapshotVersion uint32 = 1
+
+// snapshotMagic opens every snapshot so Load can tell a headered
+// snapshot from a legacy (pre-header) gob stream or arbitrary bytes.
+var snapshotMagic = [4]byte{'S', 'H', 'S', 'T'}
+
+// headerLen is magic(4) + version(4) + payload length(8) + checksum(8).
+const headerLen = 4 + 4 + 8 + 8
+
+// Fingerprint returns the FNV-64a checksum Save stamps into the
+// snapshot header, computed over the gob payload bytes. Callers
+// shipping snapshots over the network can use it to label or verify a
+// payload without decoding it.
+func Fingerprint(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload) //shahinvet:allow errcheck — hash.Hash.Write never fails
+	return h.Sum64()
+}
+
+// Save serialises the store: a fixed header (magic, schema version,
+// payload length, FNV-64a checksum) followed by the gob payload.
+// Entries are sorted by tuple so the byte stream is identical for
+// identical contents — map iteration order must not leak into
+// persisted artifacts.
 func (s *Store) Save(w io.Writer) error {
 	var p persisted
 	for _, chain := range s.buckets {
 		p.Entries = append(p.Entries, chain...)
 	}
 	sortEntries(p.Entries)
-	return gob.NewEncoder(w).Encode(&p)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&p); err != nil {
+		return fmt.Errorf("store: encoding: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], snapshotMagic[:])
+	binary.BigEndian.PutUint32(hdr[4:8], SnapshotVersion)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	binary.BigEndian.PutUint64(hdr[16:24], Fingerprint(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: writing snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("store: writing snapshot payload: %w", err)
+	}
+	return nil
 }
 
 // sortEntries orders entries by their tuple's IEEE-754 bit patterns
@@ -136,10 +177,38 @@ func sortEntries(entries []entry) {
 	})
 }
 
-// Load deserialises a store written by Save.
+// Load deserialises a store written by Save, validating the header
+// before decoding: wrong magic (legacy or corrupt snapshots), a
+// mismatched schema version, a truncated payload, and a checksum
+// mismatch each fail with a distinct, clear error instead of
+// gob-decoding garbage.
 func Load(r io.Reader) (*Store, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: snapshot shorter than its %d-byte header (corrupt or truncated): %w", headerLen, err)
+	}
+	if !bytes.Equal(hdr[:4], snapshotMagic[:]) {
+		return nil, fmt.Errorf("store: snapshot missing magic %q: not a shahin store snapshot (legacy pre-v%d format or corrupt file)", snapshotMagic, SnapshotVersion)
+	}
+	version := binary.BigEndian.Uint32(hdr[4:8])
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("store: snapshot schema version %d, this binary reads version %d: refusing stale snapshot", version, SnapshotVersion)
+	}
+	size := binary.BigEndian.Uint64(hdr[8:16])
+	const maxSnapshotBytes = 1 << 33 // 8 GiB sanity cap on the declared length
+	if size > maxSnapshotBytes {
+		return nil, fmt.Errorf("store: snapshot declares %d payload bytes (over the %d-byte cap): corrupt header", size, uint64(maxSnapshotBytes))
+	}
+	want := binary.BigEndian.Uint64(hdr[16:24])
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("store: snapshot truncated: header declares %d payload bytes: %w", size, err)
+	}
+	if got := Fingerprint(payload); got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch: header %#016x, payload %#016x: corrupt snapshot", want, got)
+	}
 	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("store: decoding: %w", err)
 	}
 	s := New()

@@ -2,8 +2,11 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -160,4 +163,90 @@ func TestQuickStore(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestSnapshotHeaderValidation: the headered format rejects corrupt,
+// stale, truncated, and legacy snapshots with distinct, clear errors.
+func TestSnapshotHeaderValidation(t *testing.T) {
+	s := New()
+	s.Put([]float64{1, 2}, attribution(0, 0.5, 0.5))
+	s.Put([]float64{3, 4}, rule(1))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("round trip", func(t *testing.T) {
+		back, err := Load(bytes.NewReader(good))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Len() != 2 {
+			t.Fatalf("Len=%d", back.Len())
+		}
+	})
+
+	t.Run("byte stable", func(t *testing.T) {
+		var again bytes.Buffer
+		if err := s.Save(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(good, again.Bytes()) {
+			t.Fatal("two saves of identical contents differ")
+		}
+	})
+
+	t.Run("corrupt payload", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-1] ^= 0xff
+		_, err := Load(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("flipped payload byte: err=%v, want checksum mismatch", err)
+		}
+	})
+
+	t.Run("stale schema version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(bad[4:8], SnapshotVersion+7)
+		_, err := Load(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "schema version") {
+			t.Fatalf("bumped version: err=%v, want schema version error", err)
+		}
+	})
+
+	t.Run("legacy headerless gob", func(t *testing.T) {
+		// A pre-header snapshot is a bare gob stream; it must be named
+		// as such, not fed to the decoder.
+		var legacy bytes.Buffer
+		p := persisted{Entries: []entry{{Row: []float64{1}, Exp: rule(0)}}}
+		if err := gob.NewEncoder(&legacy).Encode(&p); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&legacy)
+		if err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("legacy gob: err=%v, want magic error", err)
+		}
+	})
+
+	t.Run("truncated payload", func(t *testing.T) {
+		_, err := Load(bytes.NewReader(good[:len(good)-5]))
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncated: err=%v, want truncated error", err)
+		}
+	})
+
+	t.Run("short header", func(t *testing.T) {
+		_, err := Load(bytes.NewReader(good[:10]))
+		if err == nil || !strings.Contains(err.Error(), "header") {
+			t.Fatalf("short header: err=%v, want header error", err)
+		}
+	})
+
+	t.Run("fingerprint matches header", func(t *testing.T) {
+		want := binary.BigEndian.Uint64(good[16:24])
+		if got := Fingerprint(good[headerLen:]); got != want {
+			t.Fatalf("Fingerprint=%#x, header says %#x", got, want)
+		}
+	})
 }
