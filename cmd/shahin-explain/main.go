@@ -41,12 +41,13 @@ func main() {
 		dataPath  = flag.String("data", "", "CSV file to load (default: generate -rows synthetic tuples)")
 		rows      = flag.Int("rows", 5000, "synthetic rows when -data is not given")
 		n         = flag.Int("n", 50, "number of held-out tuples to explain")
-		explainer = flag.String("explainer", "lime", "lime, anchor, or shap")
+		explainer = flag.String("explainer", "lime", "lime, anchor, shap, or exactshap (exact TreeSHAP over the owned forest; falls back to shap when illegal)")
 		mode      = flag.String("mode", "batch", "batch, stream, or seq")
 		topK      = flag.Int("top", 5, "attributes to print per attribution")
 		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
 		trees     = flag.Int("trees", 50, "random forest size")
 		workers   = flag.Int("workers", 1, "parallel explanation workers (batch mode, non-Anchor)")
+		exactBG   = flag.Int("exact-background", 256, "background sample size for exactshap cover weights")
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /progress, /trace, /events and /debug/pprof on this address during the run (\":0\" picks a port)")
 		traceOut  = flag.String("trace-out", "", "write the JSON span dump to this file when done")
 		tparent   = flag.String("traceparent", "", "W3C traceparent to adopt: the run's root spans join the given trace (e.g. from a calling pipeline)")
@@ -111,6 +112,7 @@ func main() {
 	}
 	tuples := test.Rows(0, *n)
 	opts := shahin.Options{Explainer: kind, Seed: *seed + 3, Workers: *workers, Recorder: rec}
+	opts.Exact.Background = *exactBG
 	if *failRate > 0 || *spikeRate > 0 || *predictTimeout > 0 {
 		opts.Fault = &shahin.FaultConfig{
 			FailRate:       *failRate,

@@ -46,10 +46,11 @@ func main() {
 		name      = flag.String("dataset", "census", "dataset family (schema source): "+strings.Join(shahin.DatasetNames(), ", "))
 		dataPath  = flag.String("data", "", "CSV file to load (default: generate -rows synthetic tuples)")
 		rows      = flag.Int("rows", 5000, "synthetic rows when -data is not given")
-		explainer = flag.String("explainer", "lime", "lime, anchor, or shap")
+		explainer = flag.String("explainer", "lime", "lime, anchor, shap, or exactshap (exact TreeSHAP over the owned forest; falls back to shap when illegal)")
 		seed      = flag.Int64("seed", 1, "seed for data, training and explanation")
 		trees     = flag.Int("trees", 50, "random forest size")
 		workers   = flag.Int("workers", 0, "parallel workers sharding each flush (0 = GOMAXPROCS, non-Anchor)")
+		exactBG   = flag.Int("exact-background", 256, "background sample size for exactshap cover weights")
 
 		batchWindow = flag.Duration("batch-window", 10*time.Millisecond, "how long the first queued request waits for companions before its batch flushes")
 		batchMax    = flag.Int("batch-max", 64, "flush a batch immediately at this many queued tuples")
@@ -125,6 +126,7 @@ func main() {
 	fmt.Printf("model: %d trees, train accuracy %.3f\n", *trees, model.Accuracy(train))
 
 	opts := shahin.Options{Explainer: kind, Seed: *seed + 3, Workers: *workers, Recorder: rec}
+	opts.Exact.Background = *exactBG
 	if *failRate > 0 || *spikeRate > 0 || *predictTimeout > 0 {
 		opts.Fault = &shahin.FaultConfig{
 			FailRate:       *failRate,

@@ -8,6 +8,7 @@ import (
 
 	"shahin/internal/datagen"
 	"shahin/internal/dataset"
+	"shahin/internal/explain/exact"
 	"shahin/internal/explain/lime"
 	"shahin/internal/linmodel"
 	"shahin/internal/obs"
@@ -137,6 +138,9 @@ func hotpathBodies(seed int64) (map[string]func(n int), error) {
 		},
 	}
 	for name, body := range lime.HotpathBenchBodies(p) {
+		bodies[name] = body
+	}
+	for name, body := range exact.HotpathBenchBodies(p) {
 		bodies[name] = body
 	}
 	return bodies, nil

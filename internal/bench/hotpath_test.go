@@ -14,6 +14,7 @@ func TestHotpathBodies(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
+		"exact.(*Explainer).Explain",
 		"lime.(*Explainer).kernel",
 		"lime.topKByAbs",
 		"linmodel.(*Sym).Solve",
@@ -54,8 +55,8 @@ func TestHotpathResultsOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 9 {
-		t.Fatalf("HotpathResults returned %d entries, want 9", len(results))
+	if len(results) != 10 {
+		t.Fatalf("HotpathResults returned %d entries, want 10", len(results))
 	}
 	names := map[string]bool{}
 	for _, r := range results {

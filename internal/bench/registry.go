@@ -32,13 +32,15 @@ var registry = map[string]Experiment{
 	"ext-models":   {"Extension: speedup across classifiers", ExtModels},
 	"ext-parallel": {"Extension: worker parallelism", ExtParallel},
 	"smoke":        {"CI smoke: seq/batch/stream cost ledger at tiny scale", Smoke},
+	"exact-shap":   {"Exact TreeSHAP vs sampled KernelSHAP: agreement, determinism, and latency at zero delay", ExactShap},
 	"chaos":        {"Robustness: batch/stream under fault injection, retry, and circuit breaking", Chaos},
 	"serving":      {"Serving: mixed request workload against a live shahin-serve pipeline", Serving},
 	"sharded":      {"Sharded: affinity-routed replica fleet with mid-stream kill, failover, and peer snapshot recovery", Sharded},
 }
 
-// defaultOrder fixes the default execution order. The smoke, chaos, sharded,
-// and serving experiments are CI workloads, selected explicitly.
+// defaultOrder fixes the default execution order. The smoke, exact-shap,
+// chaos, sharded, and serving experiments are CI workloads, selected
+// explicitly.
 var defaultOrder = []string{
 	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 	"quality", "abl-sample", "abl-kernel", "abl-border",

@@ -28,6 +28,7 @@ func SequentialCtx(ctx context.Context, st *dataset.Stats, cls rf.Classifier, op
 		return nil, fmt.Errorf("core: empty batch")
 	}
 	opts = opts.withDefaults()
+	opts, fellBack := applyExactFallback(opts, cls)
 	start := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
 	rng := rand.New(rand.NewSource(opts.Seed))
 	fb := buildBridge(ctx, opts, st, cls)
@@ -67,10 +68,12 @@ func SequentialCtx(ctx context.Context, st *dataset.Stats, cls rf.Classifier, op
 		var (
 			tupleStart time.Time
 			inv0       int64
+			nv0        int64
 		)
 		if tupleHist != nil {
 			tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 			inv0 = eng.invocations()
+			nv0 = eng.nodeVisits()
 		}
 		exp, err := eng.explain(t, nil, nil)
 		if err != nil {
@@ -87,6 +90,10 @@ func SequentialCtx(ctx context.Context, st *dataset.Stats, cls rf.Classifier, op
 				Fresh:     eng.invocations() - inv0,
 				DurMS:     float64(dur) / float64(time.Millisecond),
 			}
+			if eng.exact != nil {
+				ev.Type = obs.EventExactShap
+				ev.NodeVisits = eng.nodeVisits() - nv0
+			}
 			if exp.Status != StatusOK {
 				ev.Status = exp.Status.String()
 			}
@@ -97,10 +104,12 @@ func SequentialCtx(ctx context.Context, st *dataset.Stats, cls rf.Classifier, op
 	explainSpan.End()
 	wall := time.Since(start)
 	rep := Report{
-		Tuples:      len(tuples),
-		WallTime:    wall,
-		ExplainTime: wall,
-		Invocations: eng.invocations(),
+		Tuples:        len(tuples),
+		WallTime:      wall,
+		ExplainTime:   wall,
+		Invocations:   eng.invocations(),
+		NodeVisits:    eng.nodeVisits(),
+		ExactFallback: fellBack,
 	}
 	for i := range out {
 		switch out[i].Status {
@@ -170,6 +179,8 @@ func DistCtx(ctx context.Context, st *dataset.Stats, cls rf.Classifier, opts Opt
 		if res != nil {
 			copy(out[lo:hi], res.Explanations)
 			rep.Invocations += res.Report.Invocations
+			rep.NodeVisits += res.Report.NodeVisits
+			rep.ExactFallback = rep.ExactFallback || res.Report.ExactFallback
 			rep.Retries += res.Report.Retries
 			total += res.Report.WallTime
 			machines++

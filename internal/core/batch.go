@@ -26,6 +26,9 @@ type Batch struct {
 	opts Options
 	st   *dataset.Stats
 	cls  rf.Classifier
+	// exactFallback records that an ExactSHAP request was downgraded to
+	// KernelSHAP at construction (fault chain, or not an owned ensemble).
+	exactFallback bool
 }
 
 // NewBatch creates a batch explainer over the training statistics and a
@@ -34,7 +37,8 @@ func NewBatch(st *dataset.Stats, cls rf.Classifier, opts Options) (*Batch, error
 	if st == nil || cls == nil {
 		return nil, fmt.Errorf("core: NewBatch needs stats and a classifier")
 	}
-	return &Batch{opts: opts.withDefaults(), st: st, cls: cls}, nil
+	opts, fellBack := applyExactFallback(opts.withDefaults(), cls)
+	return &Batch{opts: opts, st: st, cls: cls, exactFallback: fellBack}, nil
 }
 
 // ExplainAll explains every tuple of the batch and returns the
@@ -84,36 +88,45 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 	// frequent itemsets — max(1000, 1%) per the paper's heuristic.
 	mineSpan := root.Child(obs.StageMine)
 	mineStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
-	sampleN := fim.SampleSize(len(tuples))
-	switch {
-	case opts.MineSample < 0:
-		sampleN = len(tuples)
-	case opts.MineSample > 0:
-		sampleN = opts.MineSample
-	}
-	rows := itemizeSample(b.st, tuples, sampleN, rng)
-	mined, err := fim.Mine(rows, fim.Config{
-		MinSupport:  effectiveSupport(opts.MinSupport, len(rows)),
-		MaxLen:      opts.MaxItemsetLen,
-		MaxPerLevel: 4 * opts.MaxItemsets,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: mining batch sample: %w", err)
-	}
-	frequent := mined.Frequent
-	if len(frequent) > opts.MaxItemsets {
-		frequent = frequent[:opts.MaxItemsets]
-	}
-	// Resource-constrained pool sizing (the paper sets τ "automatically
-	// based on the resource constraints"): never spend more than ~20 % of
-	// the estimated sequential classifier budget on pre-labelling, so
-	// small batches are not swamped by pool construction.
-	if maxSets := poolBudget(opts, len(tuples)) / opts.Tau; !opts.DisablePoolBudget && len(frequent) > maxSets {
-		if maxSets < 10 {
-			maxSets = 10
+	var (
+		rows     []dataset.Itemset
+		frequent []fim.Mined
+	)
+	// The exact TreeSHAP path neither perturbs nor pools, so it skips
+	// mining entirely; the empty frequent set flows through Step 2 and
+	// builds an empty (but non-nil) pool the engines never draw from.
+	if opts.Explainer != ExactSHAP {
+		sampleN := fim.SampleSize(len(tuples))
+		switch {
+		case opts.MineSample < 0:
+			sampleN = len(tuples)
+		case opts.MineSample > 0:
+			sampleN = opts.MineSample
 		}
-		if len(frequent) > maxSets {
-			frequent = frequent[:maxSets]
+		rows = itemizeSample(b.st, tuples, sampleN, rng)
+		mined, err := fim.Mine(rows, fim.Config{
+			MinSupport:  effectiveSupport(opts.MinSupport, len(rows)),
+			MaxLen:      opts.MaxItemsetLen,
+			MaxPerLevel: 4 * opts.MaxItemsets,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: mining batch sample: %w", err)
+		}
+		frequent = mined.Frequent
+		if len(frequent) > opts.MaxItemsets {
+			frequent = frequent[:opts.MaxItemsets]
+		}
+		// Resource-constrained pool sizing (the paper sets τ "automatically
+		// based on the resource constraints"): never spend more than ~20 % of
+		// the estimated sequential classifier budget on pre-labelling, so
+		// small batches are not swamped by pool construction.
+		if maxSets := poolBudget(opts, len(tuples)) / opts.Tau; !opts.DisablePoolBudget && len(frequent) > maxSets {
+			if maxSets < 10 {
+				maxSets = 10
+			}
+			if len(frequent) > maxSets {
+				frequent = frequent[:maxSets]
+			}
 		}
 	}
 	mineTime := time.Since(mineStart)
@@ -192,10 +205,12 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 	poolSpan.SetAttr("pool_invocations", poolInv)
 	poolSpan.End()
 	rec.Counter(obs.CounterPoolInvocations).Add(poolInv)
-	rec.Emit(obs.Event{
-		Type: obs.EventPoolBuild, Tuple: -1, Itemsets: len(frequent),
-		Fresh: poolInv, DurMS: float64(poolTime) / float64(time.Millisecond),
-	})
+	if opts.Explainer != ExactSHAP {
+		rec.Emit(obs.Event{
+			Type: obs.EventPoolBuild, Tuple: -1, Itemsets: len(frequent),
+			Fresh: poolInv, DurMS: float64(poolTime) / float64(time.Millisecond),
+		})
+	}
 
 	// Step 3: explain every tuple, reusing pooled work.
 	rep := Report{
@@ -249,12 +264,14 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 			var (
 				tupleStart time.Time
 				inv0       int64
+				nv0        int64
 				cls0       time.Duration
 				anchorHits int64
 			)
 			if tupleHist != nil {
 				tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 				inv0 = eng.invocations()
+				nv0 = eng.nodeVisits()
 				cls0 = eng.classifyTime()
 				if sh != nil {
 					anchorHits = sh.Repo.Stats().Hits
@@ -275,7 +292,12 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 					Fresh:     eng.invocations() - inv0,
 					DurMS:     float64(dur) / float64(time.Millisecond),
 				}
-				if pool != nil {
+				if eng.exact != nil {
+					// The exact path's provenance unit is tree-node
+					// visits, not pooled samples.
+					ev.Type = obs.EventExactShap
+					ev.NodeVisits = eng.nodeVisits() - nv0
+				} else if pool != nil {
 					ev.Pooled, ev.CacheHits, ev.Itemset = pool.provenance()
 				} else if sh != nil {
 					ev.CacheHits = sh.Repo.Stats().Hits - anchorHits
@@ -294,11 +316,13 @@ func (b *Batch) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result,
 			out[i] = exp
 		}
 		rep.Invocations = eng.invocations()
+		rep.NodeVisits = eng.nodeVisits()
 		if pool != nil {
 			rep.OverheadTime += pool.retrieval
 			rep.ReusedSamples = pool.reused
 		}
 	}
+	rep.ExactFallback = b.exactFallback
 	rep.ExplainTime = time.Since(explainStart)
 	if rec != nil {
 		d := explainMark.Since()
@@ -385,11 +409,13 @@ func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, 
 				var (
 					tupleStart time.Time
 					inv0       int64
+					nv0        int64
 					cls0       time.Duration
 				)
 				if tupleHist != nil {
 					tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 					inv0 = engines[w].invocations()
+					nv0 = engines[w].nodeVisits()
 					cls0 = engines[w].classifyTime()
 				}
 				exp, err := engines[w].explain(tuples[i], pools[w], nil)
@@ -408,7 +434,12 @@ func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, 
 						Fresh:     engines[w].invocations() - inv0,
 						DurMS:     float64(dur) / float64(time.Millisecond),
 					}
-					ev.Pooled, ev.CacheHits, ev.Itemset = pools[w].provenance()
+					if engines[w].exact != nil {
+						ev.Type = obs.EventExactShap
+						ev.NodeVisits = engines[w].nodeVisits() - nv0
+					} else {
+						ev.Pooled, ev.CacheHits, ev.Itemset = pools[w].provenance()
+					}
 					if exp.Status != StatusOK {
 						ev.Status = exp.Status.String()
 					}
@@ -439,6 +470,7 @@ func explainParallel(ctx context.Context, st *dataset.Stats, cls rf.Classifier, 
 	}
 	for w := 0; w < workers; w++ {
 		rep.Invocations += engines[w].invocations()
+		rep.NodeVisits += engines[w].nodeVisits()
 		rep.ReusedSamples += pools[w].reused
 		if pools[w].retrieval > 0 {
 			rep.OverheadTime += pools[w].retrieval / time.Duration(workers)

@@ -496,7 +496,7 @@ func TestParseKindSampleSHAP(t *testing.T) {
 			t.Fatalf("ParseKind(%q)=(%v,%v)", s, k, err)
 		}
 	}
-	if len(AllKinds()) != 4 || len(Kinds()) != 3 {
+	if len(AllKinds()) != 5 || len(Kinds()) != 3 {
 		t.Fatal("kind lists wrong")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"shahin/internal/dataset"
 	"shahin/internal/explain"
 	"shahin/internal/explain/anchor"
+	"shahin/internal/explain/exact"
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
 	"shahin/internal/explain/sshap"
@@ -33,6 +34,7 @@ type engine struct {
 	anchor *anchor.Explainer
 	shap   *shap.Explainer
 	sshap  *sshap.Explainer
+	exact  *exact.Explainer
 }
 
 // newEngine wires up the explainer of the requested kind. covRows feeds
@@ -73,6 +75,24 @@ func newEngineBridge(opts Options, st *dataset.Stats, cls rf.Classifier, covRows
 		e.shap = shap.New(st, counting, opts.SHAP, rng)
 	case SampleSHAP:
 		e.sshap = sshap.New(st, counting, opts.SSHAP, rng)
+	case ExactSHAP:
+		ex, err := exact.New(st, counting, opts.Exact)
+		if err != nil {
+			// Eligibility is decided at the run entry points (see
+			// exactEligible); an unchecked caller degrades to KernelSHAP
+			// rather than crashing mid-run. The marker event keeps even
+			// this defensive degrade visible in provenance.
+			if rec := opts.Recorder; rec != nil {
+				rec.Emit(obs.Event{
+					Type: obs.EventExactFallback, Tuple: -1,
+					Explainer: ExactSHAP.String(), State: "unsupported_classifier",
+				})
+			}
+			e.kind = SHAP
+			e.shap = shap.New(st, counting, opts.SHAP, rng)
+			break
+		}
+		e.exact = ex
 	}
 	return e
 }
@@ -105,6 +125,12 @@ func (e *engine) explain(t []float64, pool explain.Pool, sh *anchor.Shared) (Exp
 			return Explanation{}, err
 		}
 		return Explanation{Attribution: att}, nil
+	case ExactSHAP:
+		att, err := e.exact.Explain(t)
+		if err != nil {
+			return Explanation{}, err
+		}
+		return Explanation{Attribution: att}, nil
 	default:
 		return Explanation{}, fmt.Errorf("core: unknown explainer kind %d", e.kind)
 	}
@@ -112,6 +138,16 @@ func (e *engine) explain(t []float64, pool explain.Pool, sh *anchor.Shared) (Exp
 
 // invocations reports the classifier calls made through this engine.
 func (e *engine) invocations() int64 { return e.cls.Invocations() }
+
+// nodeVisits reports the cumulative tree nodes walked by the exact
+// explainer (0 for sampled kinds); per-tuple deltas ride exact_shap
+// provenance events.
+func (e *engine) nodeVisits() int64 {
+	if e.exact == nil {
+		return 0
+	}
+	return e.exact.NodeVisits()
+}
 
 // classifyTime reports cumulative in-classifier time through this
 // engine (0 without a recorder — the predict hook is where timing is

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"shahin/internal/datagen"
+	"shahin/internal/dataset"
+	"shahin/internal/obs"
+	"shahin/internal/rf"
+)
+
+// exactEnv trains a real (small) random forest so the exact TreeSHAP
+// walker has owned tree structure to recurse over; rf.Func in newEnv is
+// deliberately opaque and exercises the fallback path instead.
+type exactEnv struct {
+	st     *dataset.Stats
+	forest *rf.Forest
+	tuples [][]float64
+}
+
+func newExactEnv(t *testing.T, seed int64, batch int) *exactEnv {
+	t.Helper()
+	cfg, err := datagen.Spec("recidivism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cfg.Generate(1500, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	trainD, testD := d.Split(1.0/3, rng)
+	st, err := dataset.Compute(trainD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := rf.Train(trainD, rf.Config{NumTrees: 12, MaxDepth: 6, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &exactEnv{st: st, forest: forest, tuples: testD.Rows(0, batch)}
+}
+
+// TestBatchExactSHAP is the exact-path acceptance check on the batch
+// pipeline: zero pool usage, one classifier invocation per tuple, the
+// exact_shap provenance events reconciling against the report, and the
+// efficiency identity tying each attribution to the forest's own vote
+// fraction.
+func TestBatchExactSHAP(t *testing.T) {
+	env := newExactEnv(t, 50, 20)
+	rec := obs.NewRecorder()
+	opts := smallOpts(ExactSHAP, 51)
+	opts.Recorder = rec
+
+	b, err := NewBatch(env.st, env.forest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAll(env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.ExactFallback {
+		t.Fatal("exact path fell back on an owned forest")
+	}
+	if rep.NodeVisits == 0 {
+		t.Fatal("exact run recorded zero tree-node visits")
+	}
+	if rep.PoolInvocations != 0 || rep.ReusedSamples != 0 {
+		t.Fatalf("exact path touched the perturbation pool: pool=%d reused=%d",
+			rep.PoolInvocations, rep.ReusedSamples)
+	}
+	if rep.Invocations != int64(len(env.tuples)) {
+		t.Fatalf("Invocations = %d, want one Predict per tuple = %d",
+			rep.Invocations, len(env.tuples))
+	}
+
+	events, dropped := rec.Events()
+	if dropped != 0 {
+		t.Fatalf("event log dropped %d events", dropped)
+	}
+	var (
+		exactEvents int
+		sumFresh    int64
+		sumVisits   int64
+	)
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventPoolBuild:
+			t.Error("exact run emitted pool_build")
+		case obs.EventTupleExplained:
+			t.Error("exact run emitted tuple_explained instead of exact_shap")
+		case obs.EventExactShap:
+			exactEvents++
+			sumFresh += e.Fresh
+			sumVisits += e.NodeVisits
+			if e.NodeVisits <= 0 {
+				t.Errorf("exact_shap event for tuple %d carries %d node visits", e.Tuple, e.NodeVisits)
+			}
+		}
+	}
+	if exactEvents != len(env.tuples) {
+		t.Fatalf("%d exact_shap events for %d tuples", exactEvents, len(env.tuples))
+	}
+	if sumFresh != rep.Invocations {
+		t.Errorf("sum of exact_shap fresh samples = %d, want Invocations = %d", sumFresh, rep.Invocations)
+	}
+	if sumVisits != rep.NodeVisits {
+		t.Errorf("sum of exact_shap node visits = %d, want Report.NodeVisits = %d", sumVisits, rep.NodeVisits)
+	}
+
+	// Efficiency: Σφ + intercept must equal the forest's vote fraction
+	// for the explained class, exactly (up to float round-off).
+	for i, e := range res.Explanations {
+		at := e.Attribution
+		if at == nil {
+			t.Fatalf("tuple %d has no attribution", i)
+		}
+		sum := at.Intercept
+		for _, w := range at.Weights {
+			sum += w
+		}
+		want := env.forest.Prob(env.tuples[i])[at.Class]
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("tuple %d efficiency gap %g (sum %g, vote fraction %g)",
+				i, sum-want, sum, want)
+		}
+	}
+}
+
+// TestExactParallelMatchesSerial pins the determinism regression: exact
+// values do not depend on worker count or on re-running, byte for byte.
+func TestExactParallelMatchesSerial(t *testing.T) {
+	env := newExactEnv(t, 52, 24)
+	run := func(workers int) []byte {
+		opts := smallOpts(ExactSHAP, 53)
+		opts.Workers = workers
+		b, err := NewBatch(env.st, env.forest, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.ExplainAll(env.tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(res.Explanations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	serial := run(1)
+	if string(run(4)) != string(serial) {
+		t.Fatal("parallel exact run differs from serial")
+	}
+	if string(run(1)) != string(serial) {
+		t.Fatal("exact run is not reproducible under the same seed")
+	}
+}
+
+// TestExactFallbackUnsupported drives ExactSHAP at an opaque classifier
+// (rf.Func has no tree structure): the run must silently degrade to
+// KernelSHAP, mark the report, and leave the exact_fallback provenance
+// event naming the reason.
+func TestExactFallbackUnsupported(t *testing.T) {
+	env := newEnv(t, 54, 15)
+	rec := obs.NewRecorder()
+	opts := smallOpts(ExactSHAP, 55)
+	opts.Recorder = rec
+
+	b, err := NewBatch(env.st, env.cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ExplainAll(env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.ExactFallback {
+		t.Fatal("Report.ExactFallback not set for opaque classifier")
+	}
+	if res.Report.NodeVisits != 0 {
+		t.Fatalf("fallback run recorded %d node visits", res.Report.NodeVisits)
+	}
+	for i, e := range res.Explanations {
+		if e.Attribution == nil {
+			t.Fatalf("tuple %d unanswered after fallback", i)
+		}
+	}
+	assertFallbackEvent(t, rec, "unsupported_classifier")
+}
+
+// TestExactFallbackFaultChain checks the legality rule from DESIGN.md
+// §16: a fault-injected (remote-like) backend cannot use the exact
+// walker even when the underlying model is an owned forest.
+func TestExactFallbackFaultChain(t *testing.T) {
+	env := newExactEnv(t, 56, 10)
+	rec := obs.NewRecorder()
+	opts := smallOpts(ExactSHAP, 57)
+	opts.Fault = chaosFaults(58)
+	opts.Recorder = rec
+
+	res, err := Sequential(env.st, env.forest, opts, env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.ExactFallback {
+		t.Fatal("Report.ExactFallback not set under a fault chain")
+	}
+	if res.Report.NodeVisits != 0 {
+		t.Fatalf("fault-chain run recorded %d node visits", res.Report.NodeVisits)
+	}
+	assertFallbackEvent(t, rec, "fault_chain")
+}
+
+func assertFallbackEvent(t *testing.T, rec *obs.Recorder, reason string) {
+	t.Helper()
+	events, _ := rec.Events()
+	found := false
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventExactFallback:
+			found = true
+			if e.State != reason {
+				t.Errorf("exact_fallback reason %q, want %q", e.State, reason)
+			}
+		case obs.EventExactShap:
+			t.Error("fallback run still emitted exact_shap")
+		}
+	}
+	if !found {
+		t.Error("no exact_fallback event emitted")
+	}
+}
+
+// TestStreamExactSHAP smoke-tests the per-tuple entry point: no pool or
+// windowing machinery runs, and every answer carries node visits.
+func TestStreamExactSHAP(t *testing.T) {
+	env := newExactEnv(t, 59, 12)
+	s, err := NewStream(env.st, env.forest, smallOpts(ExactSHAP, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tup := range env.tuples {
+		exp, err := s.Explain(tup)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if exp.Attribution == nil {
+			t.Fatalf("tuple %d unanswered", i)
+		}
+	}
+	rep := s.Report()
+	if rep.ExactFallback {
+		t.Fatal("stream fell back on an owned forest")
+	}
+	if rep.NodeVisits == 0 {
+		t.Fatal("stream exact run recorded zero node visits")
+	}
+	if rep.Invocations != int64(len(env.tuples)) {
+		t.Fatalf("Invocations = %d, want %d", rep.Invocations, len(env.tuples))
+	}
+	if rep.PoolInvocations != 0 || rep.ReusedSamples != 0 {
+		t.Fatal("stream exact run touched the pool")
+	}
+}
+
+// TestWarmExactSHAP covers both warm paths: batched flushes through an
+// ExactSHAP server, and the single-tuple ExplainExact side door that
+// any tree-backed warm server exposes regardless of its batch kind.
+func TestWarmExactSHAP(t *testing.T) {
+	env := newExactEnv(t, 61, 16)
+	w, err := NewWarm(env.st, env.forest, smallOpts(ExactSHAP, 62), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind() != ExactSHAP {
+		t.Fatalf("Kind = %v", w.Kind())
+	}
+	if !w.ExactAvailable() {
+		t.Fatal("ExactAvailable false on an owned forest")
+	}
+	res, err := w.ExplainAll(env.tuples[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.NodeVisits == 0 || res.Report.PoolInvocations != 0 {
+		t.Fatalf("warm flush: visits=%d pool=%d", res.Report.NodeVisits, res.Report.PoolInvocations)
+	}
+	at, visits, err := w.ExplainExact(env.tuples[8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at == nil || visits <= 0 {
+		t.Fatalf("ExplainExact: at=%v visits=%d", at, visits)
+	}
+	cum := w.Report()
+	if cum.Tuples != 9 {
+		t.Fatalf("cumulative Tuples = %d, want 9", cum.Tuples)
+	}
+	if cum.NodeVisits <= res.Report.NodeVisits {
+		t.Fatal("ExplainExact visits not folded into the cumulative report")
+	}
+
+	// A LIME warm server over the same forest still answers exact
+	// one-offs: availability is structural, not kind-gated.
+	wl, err := NewWarm(env.st, env.forest, smallOpts(LIME, 63), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wl.ExactAvailable() {
+		t.Fatal("LIME warm server over a forest should still offer exact one-offs")
+	}
+	if _, visits, err := wl.ExplainExact(env.tuples[0]); err != nil || visits <= 0 {
+		t.Fatalf("LIME-kind ExplainExact: visits=%d err=%v", visits, err)
+	}
+}
+
+// TestExactUnderCancellableContext pins the CLI shape: a cancellable
+// context forces the cancellation bridge between the engine and the
+// classifier even with no fault config, and the exact path must see
+// through it (via Inner) rather than silently degrading to pool-free
+// KernelSHAP.
+func TestExactUnderCancellableContext(t *testing.T) {
+	env := newExactEnv(t, 64, 12)
+	rec := obs.NewRecorder()
+	opts := smallOpts(ExactSHAP, 65)
+	opts.Recorder = rec
+
+	b, err := NewBatch(env.st, env.forest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := b.ExplainAllCtx(ctx, env.tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.ExactFallback {
+		t.Fatal("exact path fell back under a cancellable context")
+	}
+	if res.Report.Invocations != int64(len(env.tuples)) {
+		t.Fatalf("Invocations = %d, want %d (one Predict per tuple)",
+			res.Report.Invocations, len(env.tuples))
+	}
+	if res.Report.NodeVisits == 0 {
+		t.Fatal("exact run under cancellable context recorded zero node visits")
+	}
+	var exactEvents, sampled int
+	events, _ := rec.Events()
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EventExactShap:
+			exactEvents++
+		case obs.EventTupleExplained, obs.EventPoolBuild:
+			sampled++
+		}
+	}
+	if exactEvents != len(env.tuples) || sampled != 0 {
+		t.Fatalf("events: %d exact_shap (want %d), %d sampled-path (want 0)",
+			exactEvents, len(env.tuples), sampled)
+	}
+
+	// The stream variant builds its bridge unconditionally; it must
+	// stay on the exact path too.
+	s, err := NewStream(env.st, env.forest, smallOpts(ExactSHAP, 66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := s.ExplainCtx(ctx, env.tuples[0])
+	if err != nil || exp.Attribution == nil {
+		t.Fatalf("stream exact under cancellable context: exp=%+v err=%v", exp, err)
+	}
+	if rep := s.Report(); rep.NodeVisits == 0 || rep.ExactFallback {
+		t.Fatalf("stream report: visits=%d fallback=%v, want exact path", rep.NodeVisits, rep.ExactFallback)
+	}
+}

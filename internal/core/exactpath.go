@@ -1,0 +1,39 @@
+package core
+
+import (
+	"shahin/internal/explain/exact"
+	"shahin/internal/obs"
+	"shahin/internal/rf"
+)
+
+// exactEligible reports whether the exact TreeSHAP fast path is legal
+// for this run: no fault chain (the exact walker reads tree structure
+// directly and cannot route through the degradation ladder) and a
+// classifier that unwraps to an owned tree ensemble.
+func exactEligible(opts Options, cls rf.Classifier) bool {
+	return opts.Fault == nil && exact.Supported(cls)
+}
+
+// applyExactFallback downgrades an ExactSHAP request to KernelSHAP when
+// the backend does not qualify, emitting the exact_fallback provenance
+// marker with the reason. It returns the (possibly rewritten) options
+// and whether the fallback fired; every run entry point calls it after
+// withDefaults so the silent degradation is decided in exactly one
+// place.
+func applyExactFallback(opts Options, cls rf.Classifier) (Options, bool) {
+	if opts.Explainer != ExactSHAP || exactEligible(opts, cls) {
+		return opts, false
+	}
+	reason := "unsupported_classifier"
+	if opts.Fault != nil {
+		reason = "fault_chain"
+	}
+	if rec := opts.Recorder; rec != nil {
+		rec.Emit(obs.Event{
+			Type: obs.EventExactFallback, Tuple: -1,
+			Explainer: ExactSHAP.String(), State: reason,
+		})
+	}
+	opts.Explainer = SHAP
+	return opts, true
+}

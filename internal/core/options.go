@@ -13,6 +13,7 @@ import (
 	"shahin/internal/cache"
 	"shahin/internal/dataset"
 	"shahin/internal/explain/anchor"
+	"shahin/internal/explain/exact"
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
 	"shahin/internal/explain/sshap"
@@ -35,6 +36,13 @@ const (
 	// three algorithms that demonstrates the generality of the reuse
 	// framework.
 	SampleSHAP
+	// ExactSHAP produces exact Shapley-value attributions by walking the
+	// owned tree ensemble directly (TreeSHAP): polynomial time, zero
+	// perturbation sampling, one classifier invocation per tuple. Only
+	// legal on a local tree backend — runs whose classifier does not
+	// unwrap to an owned ensemble, or with a fault chain installed, fall
+	// back to (Kernel)SHAP and record an exact_fallback event.
+	ExactSHAP
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +56,8 @@ func (k Kind) String() string {
 		return "SHAP"
 	case SampleSHAP:
 		return "SampleSHAP"
+	case ExactSHAP:
+		return "ExactSHAP"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -58,7 +68,7 @@ func (k Kind) String() string {
 func Kinds() []Kind { return []Kind{LIME, Anchor, SHAP} }
 
 // AllKinds additionally includes the extension explainers.
-func AllKinds() []Kind { return []Kind{LIME, Anchor, SHAP, SampleSHAP} }
+func AllKinds() []Kind { return []Kind{LIME, Anchor, SHAP, SampleSHAP, ExactSHAP} }
 
 // ParseKind converts a name ("lime", "anchor", "shap", any case) to a Kind.
 func ParseKind(s string) (Kind, error) {
@@ -71,6 +81,8 @@ func ParseKind(s string) (Kind, error) {
 		return SHAP, nil
 	case "sshap", "sampleshap", "sampleshapley":
 		return SampleSHAP, nil
+	case "exact", "exactshap", "treeshap":
+		return ExactSHAP, nil
 	default:
 		return 0, fmt.Errorf("core: unknown explainer %q (want lime, anchor, or shap)", s)
 	}
@@ -90,11 +102,13 @@ func lower(s string) string {
 type Options struct {
 	// Explainer picks the algorithm (default LIME).
 	Explainer Kind
-	// LIME / Anchor / SHAP / SSHAP configure the underlying explainers.
+	// LIME / Anchor / SHAP / SSHAP / Exact configure the underlying
+	// explainers.
 	LIME   lime.Config
 	Anchor anchor.Config
 	SHAP   shap.Config
 	SSHAP  sshap.Config
+	Exact  exact.Config
 
 	// MinSupport is the frequent-itemset threshold over the batch sample
 	// (default 0.1).
@@ -182,6 +196,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1
+	}
+	if o.Explainer == ExactSHAP {
+		// Pin the background seed before per-worker seed perturbation so
+		// parallel workers and distributed machines draw the identical
+		// background sample (parallel == serial, byte for byte).
+		if o.Exact.Seed == 0 {
+			o.Exact.Seed = o.Seed + 31
+		}
+		if o.Exact.Background <= 0 {
+			o.Exact.Background = 256
+		}
 	}
 	return o
 }

@@ -58,6 +58,17 @@ type Report struct {
 	// Cache summarises the perturbation repository at the end of the run.
 	Cache cache.Stats
 
+	// NodeVisits counts tree nodes walked by the exact TreeSHAP path
+	// recursion (0 for sampled explainers) — the exact path's unit of
+	// work, mirroring what ReusedSamples measures for the pooled paths.
+	NodeVisits int64
+	// ExactFallback records that the run requested the ExactSHAP
+	// explainer but the backend did not qualify (fault chain installed,
+	// or the classifier is not an owned tree ensemble) and the run
+	// silently proceeded with KernelSHAP. An exact_fallback event with
+	// the reason accompanies it when a recorder is attached.
+	ExactFallback bool
+
 	// Retries counts classifier re-attempts after transient failures.
 	Retries int64
 	// Degraded counts tuples answered at least partly by the degradation
@@ -157,6 +168,8 @@ type reportJSON struct {
 	FrequentItemsets int         `json:"frequent_itemsets"`
 	Cache            cache.Stats `json:"cache"`
 	CacheHitRate     float64     `json:"cache_hit_rate"`
+	NodeVisits       int64       `json:"node_visits,omitempty"`
+	ExactFallback    bool        `json:"exact_fallback,omitempty"`
 	Retries          int64       `json:"retries,omitempty"`
 	Degraded         int         `json:"degraded_tuples,omitempty"`
 	Failed           int         `json:"failed_tuples,omitempty"`
@@ -202,6 +215,8 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		FrequentItemsets: r.FrequentItemsets,
 		Cache:            r.Cache,
 		CacheHitRate:     r.Cache.HitRate(),
+		NodeVisits:       r.NodeVisits,
+		ExactFallback:    r.ExactFallback,
 		Retries:          r.Retries,
 		Degraded:         r.Degraded,
 		Failed:           r.Failed,
@@ -239,6 +254,8 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		ReusedSamples:    j.ReusedSamples,
 		FrequentItemsets: j.FrequentItemsets,
 		Cache:            j.Cache,
+		NodeVisits:       j.NodeVisits,
+		ExactFallback:    j.ExactFallback,
 		Retries:          j.Retries,
 		Degraded:         j.Degraded,
 		Failed:           j.Failed,
@@ -276,6 +293,12 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, ", %.1f%% hit rate, %d evictions",
 				100*r.Cache.HitRate(), r.Cache.Evictions)
 		}
+	}
+	if r.NodeVisits > 0 {
+		fmt.Fprintf(&b, "\nexact path: %d tree-node visits, zero perturbation sampling", r.NodeVisits)
+	}
+	if r.ExactFallback {
+		b.WriteString("\nexact path unavailable: fell back to KernelSHAP")
 	}
 	if r.Retries > 0 || r.Degraded > 0 || r.Failed > 0 {
 		fmt.Fprintf(&b, "\nrobustness: %d retries · %d degraded tuples · %d failed tuples",

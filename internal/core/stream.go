@@ -54,6 +54,9 @@ type Stream struct {
 	wall     time.Duration
 	overhead time.Duration
 	poolInv  int64 // Predict calls spent materialising pooled perturbations
+	// exactFallback records a construction-time downgrade of an
+	// ExactSHAP request to KernelSHAP.
+	exactFallback bool
 
 	// Stage accounting and live instrumentation (root/tupleHist/doneCtr
 	// are nil — and no-ops — without a recorder).
@@ -80,6 +83,7 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 		return nil, fmt.Errorf("core: NewStream needs stats and a classifier")
 	}
 	opts = opts.withDefaults()
+	opts, fellBack := applyExactFallback(opts, cls)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	rec := opts.Recorder
 	s := &Stream{
@@ -92,6 +96,7 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 		tupleHist: rec.Histogram(obs.HistExplainTuple),
 		doneCtr:   rec.Counter(obs.CounterTuplesDone),
 	}
+	s.exactFallback = fellBack
 	s.repo.SetHooks(cacheHooks(rec))
 	// The stream is fallible from birth: a zero fault.Config builds a
 	// pass-through chain (context honoured, nothing injected) whose
@@ -102,11 +107,14 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 		fcfg = *opts.Fault
 	}
 	s.chain = fault.Build(cls, fcfg, rec)
-	s.fb = newFallibleBridge(context.Background(), s.chain, st, rec)
+	s.fb = newFallibleBridge(context.Background(), s.chain, st, cls, rec)
 	// Anchor's coverage sample grows with the stream: the engine holds a
 	// reference to the slice header, so rebuild the engine lazily instead.
 	// Simpler: give Anchor the window slice at first mine; coverage of a
 	// rule is memoised on first use, so early tuples use window coverage.
+	// An ExactSHAP stream keeps the bridge too: a pass-through chain
+	// exposes the ensemble via Inner(), so the unwrap sees the trees
+	// while the walker's single target Predict stays cancellable.
 	s.eng = newEngineBridge(opts, st, cls, nil, rng, s.fb)
 	s.gen = perturb.NewGenerator(st, rng)
 	// Same resource rule as the batch variant: never spend more than
@@ -119,10 +127,13 @@ func NewStream(st *dataset.Stats, cls rf.Classifier, opts Options) (*Stream, err
 		}
 		s.maxPooled = cap
 	}
-	if opts.Explainer == Anchor {
+	switch opts.Explainer {
+	case Anchor:
 		s.sh = anchor.NewShared(s.eng.cls.NumClasses(), opts.CacheBytes)
 		s.sh.Repo.SetHooks(cacheHooks(rec))
-	} else {
+	case ExactSHAP:
+		// No pool: the exact path neither perturbs nor reuses samples.
+	default:
 		s.pool = newItemsetPool(s.repo, nil, rec)
 	}
 	return s, nil
@@ -157,11 +168,15 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 	defer func() { s.wall += time.Since(start) }()
 
 	trackStart := time.Now() //shahinvet:allow walltime — stage timing feeds the obs report layer
-	items := append(dataset.Itemset(nil), s.st.ItemizeRow(t, nil)...)
-	s.window = append(s.window, items)
-	for _, ts := range s.tracked {
-		if ts.set.ContainsAll(items) {
-			ts.count++
+	// The exact path never mines, pools, or tracks the border; its only
+	// per-tuple bookkeeping is the walk itself.
+	if s.eng.exact == nil {
+		items := append(dataset.Itemset(nil), s.st.ItemizeRow(t, nil)...)
+		s.window = append(s.window, items)
+		for _, ts := range s.tracked {
+			if ts.set.ContainsAll(items) {
+				ts.count++
+			}
 		}
 	}
 	// Border promotion between re-mines: an itemset whose running window
@@ -169,7 +184,7 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 	// window must be large enough (and the count high enough in absolute
 	// terms) that small-sample variance does not promote marginal
 	// itemsets, and the pool size cap still applies.
-	if *s.opts.StreamBorder && len(s.window) >= 50 {
+	if s.eng.exact == nil && *s.opts.StreamBorder && len(s.window) >= 50 {
 		minCount := int(s.opts.MinSupport * float64(len(s.window)))
 		if minCount < 5 {
 			minCount = 5
@@ -192,7 +207,7 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 	}
 	s.overhead += time.Since(trackStart)
 
-	if len(s.window) >= s.opts.StreamRecompute {
+	if s.eng.exact == nil && len(s.window) >= s.opts.StreamRecompute {
 		s.remine()
 	}
 
@@ -211,10 +226,12 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 	rec := s.opts.Recorder
 	var (
 		inv0       int64
+		nv0        int64
 		anchorHits int64
 	)
 	if rec != nil {
 		inv0 = s.eng.invocations()
+		nv0 = s.eng.nodeVisits()
 		if s.sh != nil {
 			anchorHits = s.sh.Repo.Stats().Hits
 		}
@@ -243,7 +260,10 @@ func (s *Stream) ExplainCtx(ctx context.Context, t []float64) (Explanation, erro
 			Fresh:     s.eng.invocations() - inv0,
 			DurMS:     float64(dur) / float64(time.Millisecond),
 		}
-		if pl != nil {
+		if s.eng.exact != nil {
+			ev.Type = obs.EventExactShap
+			ev.NodeVisits = s.eng.nodeVisits() - nv0
+		} else if pl != nil {
 			ev.Pooled, ev.CacheHits, ev.Itemset = s.pool.provenance()
 		} else if s.sh != nil {
 			ev.CacheHits = s.sh.Repo.Stats().Hits - anchorHits
@@ -429,6 +449,8 @@ func (s *Stream) Report() Report {
 		ExplainTime:     s.explainTime,
 		Invocations:     s.eng.invocations(),
 		PoolInvocations: s.poolInv,
+		NodeVisits:      s.eng.nodeVisits(),
+		ExactFallback:   s.exactFallback,
 	}
 	if s.pool != nil {
 		rep.OverheadTime += s.pool.retrieval

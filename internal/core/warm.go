@@ -12,6 +12,7 @@ import (
 	"shahin/internal/dataset"
 	"shahin/internal/explain"
 	"shahin/internal/explain/anchor"
+	"shahin/internal/explain/exact"
 	"shahin/internal/fim"
 	"shahin/internal/obs"
 	"shahin/internal/perturb"
@@ -64,6 +65,16 @@ type Warm struct {
 	flushes int
 	remines int
 	cum     Report
+
+	// exactFallback records a construction-time downgrade of an
+	// ExactSHAP request to KernelSHAP (stamped onto every flush report).
+	exactFallback bool
+	// exactMu guards the lazily built per-request exact engine serving
+	// layers use through ExplainExact (separate from the flush gate so
+	// single-tuple exact answers never queue behind a flush).
+	exactMu  sync.Mutex
+	exactEng *exact.Explainer
+	exactCls *rf.Counting
 }
 
 // DefaultStaleAfter is the re-mine staleness threshold (in explained
@@ -78,6 +89,7 @@ func NewWarm(st *dataset.Stats, cls rf.Classifier, opts Options, staleAfter int)
 		return nil, fmt.Errorf("core: NewWarm needs stats and a classifier")
 	}
 	opts = opts.withDefaults()
+	opts, fellBack := applyExactFallback(opts, cls)
 	if staleAfter <= 0 {
 		staleAfter = DefaultStaleAfter
 	}
@@ -89,6 +101,7 @@ func NewWarm(st *dataset.Stats, cls rf.Classifier, opts Options, staleAfter int)
 		gate:       make(chan struct{}, 1),
 		repo:       cache.NewRepo(opts.CacheBytes),
 	}
+	w.exactFallback = fellBack
 	w.repo.SetHooks(cacheHooks(opts.Recorder))
 	// Same resource rule as the other variants: cap how many itemsets get
 	// materialised so pool construction never swamps a re-mine window.
@@ -167,16 +180,19 @@ func (w *Warm) ExplainAllCtx(ctx context.Context, tuples [][]float64) (*Result, 
 	fb := buildBridge(ctx, opts, w.st, w.cls)
 	eng := newEngineBridge(opts, w.st, w.cls, w.window, rng, fb)
 
-	// Track the incoming tuples for the next re-mine window.
-	for _, t := range tuples {
-		w.window = append(w.window, append(dataset.Itemset(nil), w.st.ItemizeRow(t, nil)...))
-	}
-	if max := 4 * w.staleAfter; len(w.window) > max {
-		w.window = append(w.window[:0:0], w.window[len(w.window)-max:]...)
+	// Track the incoming tuples for the next re-mine window. The exact
+	// path never mines or pools, so it skips the window bookkeeping too.
+	if opts.Explainer != ExactSHAP {
+		for _, t := range tuples {
+			w.window = append(w.window, append(dataset.Itemset(nil), w.st.ItemizeRow(t, nil)...))
+		}
+		if max := 4 * w.staleAfter; len(w.window) > max {
+			w.window = append(w.window[:0:0], w.window[len(w.window)-max:]...)
+		}
 	}
 
-	rep := Report{Tuples: len(tuples)}
-	if !w.mined || w.since >= w.staleAfter {
+	rep := Report{Tuples: len(tuples), ExactFallback: w.exactFallback}
+	if opts.Explainer != ExactSHAP && (!w.mined || w.since >= w.staleAfter) {
 		w.remine(ctx, eng, rng, root, &rep)
 	}
 	if fb != nil {
@@ -277,7 +293,7 @@ func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float6
 		doneCtr = rec.Counter(obs.CounterTuplesDone)
 	}
 	var pool *itemsetPool
-	if w.sh == nil {
+	if w.sh == nil && eng.exact == nil {
 		pool = newItemsetPool(w.repo, w.sets, rec)
 	}
 	for i, t := range tuples {
@@ -296,12 +312,14 @@ func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float6
 		var (
 			tupleStart time.Time
 			inv0       int64
+			nv0        int64
 			cls0       time.Duration
 			anchorHits int64
 		)
 		if tupleHist != nil {
 			tupleStart = time.Now() //shahinvet:allow walltime — per-tuple latency feeds the obs histogram
 			inv0 = eng.invocations()
+			nv0 = eng.nodeVisits()
 			cls0 = eng.classifyTime()
 			if w.sh != nil {
 				anchorHits = w.sh.Repo.Stats().Hits
@@ -322,7 +340,10 @@ func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float6
 				Fresh:     eng.invocations() - inv0,
 				DurMS:     float64(dur) / float64(time.Millisecond),
 			}
-			if pool != nil {
+			if eng.exact != nil {
+				ev.Type = obs.EventExactShap
+				ev.NodeVisits = eng.nodeVisits() - nv0
+			} else if pool != nil {
 				ev.Pooled, ev.CacheHits, ev.Itemset = pool.provenance()
 			} else if w.sh != nil {
 				ev.CacheHits = w.sh.Repo.Stats().Hits - anchorHits
@@ -341,6 +362,7 @@ func (w *Warm) explainSerial(ctx context.Context, eng *engine, tuples [][]float6
 		out[i] = exp
 	}
 	rep.Invocations += eng.invocations()
+	rep.NodeVisits += eng.nodeVisits()
 	if pool != nil {
 		rep.OverheadTime += pool.retrieval
 		rep.ReusedSamples = pool.reused
@@ -506,6 +528,8 @@ func (w *Warm) accumulate(rep Report) {
 	c.ReusedSamples += rep.ReusedSamples
 	c.FrequentItemsets = rep.FrequentItemsets
 	c.Cache = rep.Cache
+	c.NodeVisits += rep.NodeVisits
+	c.ExactFallback = c.ExactFallback || rep.ExactFallback
 	c.Retries += rep.Retries
 	c.Degraded += rep.Degraded
 	c.Failed += rep.Failed
@@ -549,6 +573,50 @@ func (w *Warm) PooledItemsets() int {
 	w.gate <- struct{}{}
 	defer func() { <-w.gate }()
 	return sampleRepo(w.repo, w.sh).Len()
+}
+
+// Kind reports the explainer kind this warm explainer was built with
+// (after any construction-time exact fallback).
+func (w *Warm) Kind() Kind { return w.opts.Explainer }
+
+// ExactAvailable reports whether single-tuple exact TreeSHAP answers
+// are legal for this explainer's backend: no fault chain and a
+// classifier that unwraps to an owned tree ensemble. Serving layers
+// check it before routing a request to ExplainExact.
+func (w *Warm) ExactAvailable() bool {
+	return w.opts.Fault == nil && exact.Supported(w.cls)
+}
+
+// ExplainExact answers one tuple with the exact TreeSHAP fast path,
+// bypassing the flush gate, the batching queue, and the perturbation
+// pool entirely. The exact engine is built lazily on first use and
+// reused under its own lock. It returns the attribution and the number
+// of tree nodes the recursion visited (the exact path's provenance
+// unit); the tuple and its single classifier invocation are folded into
+// the cumulative Report. Callers must check ExactAvailable first.
+func (w *Warm) ExplainExact(t []float64) (*explain.Attribution, int64, error) {
+	w.exactMu.Lock()
+	defer w.exactMu.Unlock()
+	if w.exactEng == nil {
+		cnt := rf.NewCounting(w.cls)
+		ex, err := exact.New(w.st, cnt, w.opts.Exact)
+		if err != nil {
+			return nil, 0, err
+		}
+		w.exactCls, w.exactEng = cnt, ex
+	}
+	inv0, nv0 := w.exactCls.Invocations(), w.exactEng.NodeVisits()
+	at, err := w.exactEng.Explain(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	visits := w.exactEng.NodeVisits() - nv0
+	w.mu.Lock()
+	w.cum.Tuples++
+	w.cum.Invocations += w.exactCls.Invocations() - inv0
+	w.cum.NodeVisits += visits
+	w.mu.Unlock()
+	return at, visits, nil
 }
 
 // sampleRepo picks the active repository: Anchor runs share sh.Repo,

@@ -1,0 +1,91 @@
+package exact
+
+import (
+	"shahin/internal/explain"
+	"shahin/internal/rf"
+)
+
+// Benchmark sinks: package-level so the compiler cannot dead-code-
+// eliminate the hotpath calls the closures below exist to measure.
+var (
+	benchSinkAttr *explain.Attribution
+	benchSinkErr  error
+)
+
+// benchTree builds a complete binary tree of the given depth with
+// rotating split features, deterministic thresholds, and geometric
+// cover splits — enough branch/unwind structure to exercise the walker
+// without training a model.
+func benchTree(p, depth int, salt int32) []shNode {
+	var nodes []shNode
+	var build func(d int, cover float64) int32
+	build = func(d int, cover float64) int32 {
+		self := int32(len(nodes))
+		if d == depth {
+			nodes = append(nodes, shNode{
+				feature: -1,
+				class:   (self + salt) % 2,
+				value:   float64((self+salt)%7) - 3,
+				cover:   cover,
+			})
+			return self
+		}
+		nodes = append(nodes, shNode{
+			feature:   (int32(d)*5 + salt) % int32(p),
+			threshold: float64((self+salt)%9)/10 - 0.4,
+			cover:     cover,
+		})
+		left := build(d+1, cover*0.6)
+		right := build(d+1, cover*0.4)
+		nodes[self].left = left
+		nodes[self].right = right
+		return self
+	}
+	build(0, 256)
+	return nodes
+}
+
+// benchExplainer assembles a synthetic Explainer (trees, arena, base)
+// without a dataset, mirroring what New builds from a fitted forest.
+func benchExplainer(p, trees, depth int) *Explainer {
+	e := &Explainer{
+		predict:  rf.Func{Classes: 2, F: func(x []float64) int { return 1 }},
+		nclasses: 2,
+		nattrs:   p,
+		rate:     1,
+	}
+	e.trees = make([][]shNode, trees)
+	for i := range e.trees {
+		e.trees[i] = benchTree(p, depth, int32(i*3+1))
+	}
+	e.computeBase()
+	e.arena = make([][]pathElem, depth+2)
+	for i := range e.arena {
+		e.arena[i] = make([]pathElem, depth+2)
+	}
+	return e
+}
+
+// HotpathBenchBodies returns benchmark bodies for this package's
+// //shahin:hotpath functions, keyed by qualified function name. The
+// walker's helpers (walk, unwind, unwoundSum, findFeat) only run inside
+// Explain, so one body over the full per-tuple recursion covers the
+// entire hot surface. p is the attribute count of the synthetic inputs;
+// each body runs its function n times.
+func HotpathBenchBodies(p int) map[string]func(n int) {
+	if p < 2 {
+		p = 2
+	}
+	e := benchExplainer(p, 8, 6)
+	x := make([]float64, p)
+	for i := range x {
+		x[i] = float64((i*3)%5)/10 - 0.2
+	}
+	return map[string]func(n int){
+		"exact.(*Explainer).Explain": func(n int) {
+			for i := 0; i < n; i++ {
+				benchSinkAttr, benchSinkErr = e.Explain(x)
+			}
+		},
+	}
+}

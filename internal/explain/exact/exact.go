@@ -1,0 +1,544 @@
+// Package exact computes exact Shapley attributions for the tree
+// ensembles this repository owns end-to-end (the random forest in
+// internal/rf and the boosted ensemble in internal/gbt) in polynomial
+// time, using the TreeSHAP path-weight recursion (Lundberg et al.,
+// "Consistent Individualized Feature Attribution for Tree Ensembles";
+// see also "On the Tractability of SHAP Explanations" in PAPERS.md for
+// why tree families admit this).
+//
+// Where KernelSHAP estimates Shapley values from perturbation samples —
+// and therefore pays the classifier-invocation cost the paper shows
+// dominates explanation time — the exact walker reads the tree
+// structure directly. One Explain call issues exactly one classifier
+// invocation (to pick the target class) and zero perturbations. The
+// background distribution is the same product-of-training-marginals
+// distribution every sampled explainer perturbs from: New draws
+// Config.Background rows with the shared perturbation generator and
+// routes them down every tree once, recording per-node visit counts
+// ("covers") that weight the recursion exactly like the sampled
+// estimators' expectation over fill-ins.
+//
+// The fast path is only legal when the model is owned in-process:
+// Supported reports whether a classifier (possibly wrapped in
+// instrumentation such as rf.Counting or rf.Delayed) unwraps to a tree
+// ensemble this package can walk. Remote or fault-injected backends do
+// not, and callers (internal/core) fall back to KernelSHAP for them.
+//
+// An Explainer is not safe for concurrent use: it reuses an internal
+// path arena across calls. Build one per goroutine, like
+// perturb.Generator.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"shahin/internal/dataset"
+	"shahin/internal/explain"
+	"shahin/internal/gbt"
+	"shahin/internal/perturb"
+	"shahin/internal/rf"
+)
+
+// ErrUnsupported is returned (wrapped) by New when the classifier does
+// not unwrap to a tree ensemble this package can walk. Callers use it
+// to decide on the KernelSHAP fallback.
+var ErrUnsupported = errors.New("exact: classifier is not an owned tree ensemble")
+
+// errWidth is returned by Explain for a tuple of the wrong width. It is
+// a package-level value so the hotpath stays allocation-free.
+var errWidth = errors.New("exact: tuple width does not match training schema")
+
+// Config controls the exact explainer. Zero values select the noted
+// defaults.
+type Config struct {
+	// Background is the number of background rows drawn from the
+	// discretised training distribution to compute per-node cover
+	// weights (default 256). More rows sharpen the conditional
+	// expectation estimate; the cost is paid once at construction.
+	Background int
+	// Seed drives the background draw. internal/core derives it from
+	// Options.Seed when left zero so parallel workers agree on the
+	// background sample.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Background <= 0 {
+		c.Background = 256
+	}
+	return c
+}
+
+// pathElem is one entry of the TreeSHAP unique path: the feature that
+// split at this depth, the fraction of background cover that follows
+// the split (z), the indicator that the explained tuple follows it (o),
+// and the accumulated permutation weight (w).
+type pathElem struct {
+	feat int32
+	z    float64
+	o    float64
+	w    float64
+}
+
+// shNode is the unified flat node representation the walker operates
+// on, built once at New from either ensemble's trees.
+type shNode struct {
+	feature   int32 // split attribute, -1 for leaves
+	class     int32 // rf leaf class
+	left      int32
+	right     int32
+	threshold float64
+	value     float64 // gbt leaf value
+	cover     float64 // background rows routed through this node
+}
+
+// Explainer computes exact Shapley attributions over one owned tree
+// ensemble. It is not safe for concurrent use; build one per goroutine.
+type Explainer struct {
+	predict  rf.Classifier // full instrumentation chain: one Predict per Explain
+	trees    [][]shNode
+	gbt      bool
+	nclasses int
+	nattrs   int
+	rate     float64 // gbt shrinkage (1 for rf)
+	bias     float64 // gbt initial log-odds
+	base     []float64
+	arena    [][]pathElem
+	visits   int64
+}
+
+// unwrapper is implemented by instrumentation wrappers (rf.Counting,
+// rf.Delayed) that expose the classifier they decorate.
+type unwrapper interface{ Inner() rf.Classifier }
+
+// unwrap follows Inner() through the instrumentation chain until it
+// reaches a classifier that is not a wrapper.
+func unwrap(cls rf.Classifier) rf.Classifier {
+	for {
+		u, ok := cls.(unwrapper)
+		if !ok {
+			return cls
+		}
+		inner := u.Inner()
+		if inner == nil {
+			return cls
+		}
+		cls = inner
+	}
+}
+
+// Supported reports whether cls (possibly wrapped in instrumentation)
+// unwraps to a tree ensemble the exact walker can handle.
+func Supported(cls rf.Classifier) bool {
+	switch unwrap(cls).(type) {
+	case *rf.Forest, *gbt.Model:
+		return true
+	}
+	return false
+}
+
+// New builds an exact explainer over the ensemble underneath cls. The
+// passed classifier is kept for the single target-class Predict each
+// Explain issues, so invocation counters and calibrated delays still
+// apply to that one call; the tree structure is read from the unwrapped
+// model. It returns an error wrapping ErrUnsupported when cls does not
+// unwrap to an owned ensemble.
+func New(st *dataset.Stats, cls rf.Classifier, cfg Config) (*Explainer, error) {
+	cfg = cfg.withDefaults()
+	e := &Explainer{predict: cls, nattrs: st.Schema.NumAttrs()}
+	maxDepth := 0
+	switch m := unwrap(cls).(type) {
+	case *rf.Forest:
+		e.nclasses = m.NClasses
+		e.rate = 1
+		e.trees = make([][]shNode, len(m.Trees))
+		for i, t := range m.Trees {
+			e.trees[i] = convertRF(t)
+			if d := t.Depth(); d > maxDepth {
+				maxDepth = d
+			}
+		}
+	case *gbt.Model:
+		e.gbt = true
+		e.nclasses = 2
+		e.rate = m.Rate
+		e.bias = m.Bias
+		e.trees = make([][]shNode, len(m.Trees))
+		for i := range m.Trees {
+			e.trees[i] = convertGBT(&m.Trees[i])
+		}
+		maxDepth = m.MaxDepth()
+	default:
+		return nil, fmt.Errorf("%w (got %T)", ErrUnsupported, m)
+	}
+
+	e.computeCovers(st, cfg)
+	e.computeBase()
+
+	// One path row per recursion level. A path can hold at most one
+	// element per ancestor split plus the sentinel, so depth+2 rows of
+	// capacity depth+2 cover the deepest tree.
+	e.arena = make([][]pathElem, maxDepth+2)
+	for i := range e.arena {
+		e.arena[i] = make([]pathElem, maxDepth+2)
+	}
+	return e, nil
+}
+
+// convertRF flattens one forest tree into the unified node form.
+func convertRF(t *rf.Tree) []shNode {
+	nodes := make([]shNode, len(t.Nodes))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		nodes[i] = shNode{
+			feature:   n.Feature,
+			class:     n.Class,
+			left:      n.Left,
+			right:     n.Right,
+			threshold: n.Threshold,
+		}
+	}
+	return nodes
+}
+
+// convertGBT flattens one regression tree into the unified node form.
+func convertGBT(t *gbt.RegTree) []shNode {
+	nodes := make([]shNode, len(t.Nodes))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		nodes[i] = shNode{
+			feature:   n.Feature,
+			left:      n.Left,
+			right:     n.Right,
+			threshold: n.Threshold,
+			value:     n.Value,
+		}
+	}
+	return nodes
+}
+
+// computeCovers draws the background sample and routes every row down
+// every tree once, recording per-node visit counts.
+func (e *Explainer) computeCovers(st *dataset.Stats, cfg Config) {
+	gen := perturb.NewGenerator(st, rand.New(rand.NewSource(cfg.Seed)))
+	for b := 0; b < cfg.Background; b++ {
+		// A nil frozen itemset yields a pure draw from the training
+		// product distribution — the same background every sampled
+		// explainer perturbs against.
+		row := gen.ForItemset(nil).Row
+		for _, nodes := range e.trees {
+			j := int32(0)
+			for {
+				nodes[j].cover++
+				n := &nodes[j]
+				if n.feature < 0 {
+					break
+				}
+				if row[n.feature] <= n.threshold {
+					j = n.left
+				} else {
+					j = n.right
+				}
+			}
+		}
+	}
+}
+
+// computeBase precomputes the background expectation of the model
+// output: per-class leaf-indicator expectations for the forest, the
+// expected margin for the boosted ensemble.
+func (e *Explainer) computeBase() {
+	if e.gbt {
+		base := e.bias
+		for _, nodes := range e.trees {
+			root := nodes[0].cover
+			if root == 0 {
+				continue
+			}
+			for i := range nodes {
+				if nodes[i].feature < 0 {
+					base += e.rate * nodes[i].value * nodes[i].cover / root
+				}
+			}
+		}
+		e.base = []float64{base}
+		return
+	}
+	e.base = make([]float64, e.nclasses)
+	nt := float64(len(e.trees))
+	for _, nodes := range e.trees {
+		root := nodes[0].cover
+		if root == 0 {
+			continue
+		}
+		for i := range nodes {
+			if nodes[i].feature < 0 {
+				e.base[nodes[i].class] += nodes[i].cover / root / nt
+			}
+		}
+	}
+}
+
+// NodeVisits returns the cumulative number of tree nodes visited by the
+// path recursion across all Explain calls. Provenance events report the
+// per-tuple delta of this counter in place of pooled/fresh sample
+// counts.
+func (e *Explainer) NodeVisits() int64 { return e.visits }
+
+// NumTrees returns the number of trees the explainer walks per tuple.
+func (e *Explainer) NumTrees() int { return len(e.trees) }
+
+// Explain computes the exact Shapley attribution of x toward the
+// model's predicted class. For the forest the explained output is the
+// vote fraction of the predicted class; for the boosted ensemble it is
+// the raw margin, signed toward the predicted class. In both cases the
+// efficiency identity holds exactly: the attribution weights plus the
+// intercept sum to the model output on x.
+//
+//shahin:hotpath
+func (e *Explainer) Explain(x []float64) (*explain.Attribution, error) {
+	if len(x) != e.nattrs {
+		return nil, errWidth
+	}
+	target := e.predict.Predict(x)
+	phi := make([]float64, e.nattrs)
+	for _, nodes := range e.trees {
+		e.walk(nodes, x, phi, int32(target), 0, nil, 0, 1, 1, -1)
+	}
+	return e.finish(phi, target), nil
+}
+
+// finish scales the per-tree sums into the final attribution for the
+// given target class.
+func (e *Explainer) finish(phi []float64, target int) *explain.Attribution {
+	if e.gbt {
+		sign := 1.0
+		if target == 0 {
+			sign = -1
+		}
+		for i := range phi {
+			phi[i] *= sign * e.rate
+		}
+		return &explain.Attribution{Weights: phi, Intercept: sign * e.base[0], Class: target}
+	}
+	nt := float64(len(e.trees))
+	for i := range phi {
+		phi[i] /= nt
+	}
+	return &explain.Attribution{Weights: phi, Intercept: e.base[target], Class: target}
+}
+
+// walk implements the TreeSHAP recursion over one tree. parent is the
+// unique path accumulated above node j (it shrinks when a feature
+// reappears, so it is passed explicitly rather than implied by depth);
+// pz/po/pf describe the split that led here. Each level copies the
+// parent path into its own arena row before extending, so unwinding
+// never corrupts ancestors.
+//
+//shahin:hotpath
+func (e *Explainer) walk(nodes []shNode, x, phi []float64, target int32, depth int, parent []pathElem, j int32, pz, po float64, pf int32) {
+	e.visits++
+	l := len(parent)
+	m := e.arena[depth][:l+1]
+	copy(m, parent)
+	// Extend the path with the incoming split, redistributing the
+	// permutation weights over the longer subsets.
+	m[l] = pathElem{feat: pf, z: pz, o: po}
+	if l == 0 {
+		m[l].w = 1
+	}
+	for i := l - 1; i >= 0; i-- {
+		m[i+1].w += po * m[i].w * float64(i+1) / float64(l+1)
+		m[i].w = pz * m[i].w * float64(l-i) / float64(l+1)
+	}
+
+	n := &nodes[j]
+	if n.feature < 0 {
+		v := n.value
+		if !e.gbt {
+			if n.class == target {
+				v = 1
+			} else {
+				v = 0
+			}
+		}
+		for i := 1; i < len(m); i++ {
+			phi[m[i].feat] += unwoundSum(m, i) * (m[i].o - m[i].z) * v
+		}
+		return
+	}
+
+	hot, cold := n.left, n.right
+	if x[n.feature] > n.threshold {
+		hot, cold = n.right, n.left
+	}
+	var hotZ, coldZ float64
+	if n.cover > 0 {
+		hotZ = nodes[hot].cover / n.cover
+		coldZ = nodes[cold].cover / n.cover
+	}
+	// If this feature already split above, undo its previous extension
+	// and fold its fractions into the new one (each feature appears on
+	// the unique path at most once).
+	iz, io := 1.0, 1.0
+	if k := findFeat(m, n.feature); k >= 0 {
+		iz, io = m[k].z, m[k].o
+		m = unwind(m, k)
+	}
+	// A branch whose zero and one fractions both vanish zeroes every
+	// path weight below it and contributes nothing; skip it.
+	if hotZ*iz != 0 || io != 0 {
+		e.walk(nodes, x, phi, target, depth+1, m, hot, hotZ*iz, io, n.feature)
+	}
+	if coldZ*iz != 0 {
+		e.walk(nodes, x, phi, target, depth+1, m, cold, coldZ*iz, 0, n.feature)
+	}
+}
+
+// findFeat returns the path index holding feature f, or -1. Index 0 is
+// the sentinel root element (feat -1) and never matches.
+//
+//shahin:hotpath
+func findFeat(m []pathElem, f int32) int {
+	for i := 1; i < len(m); i++ {
+		if m[i].feat == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// unwoundSum returns the total permutation weight the path would carry
+// with element i removed, without mutating the path. This is the leaf
+// contribution weight for element i's feature.
+//
+//shahin:hotpath
+func unwoundSum(m []pathElem, i int) float64 {
+	ud := len(m) - 1
+	one, zero := m[i].o, m[i].z
+	total := 0.0
+	if one != 0 {
+		next := m[ud].w
+		for j := ud - 1; j >= 0; j-- {
+			tmp := next / (float64(j+1) * one)
+			total += tmp
+			next = m[j].w - tmp*zero*float64(ud-j)
+		}
+	} else if zero != 0 {
+		for j := ud - 1; j >= 0; j-- {
+			total += m[j].w / (zero * float64(ud-j))
+		}
+	}
+	return total * float64(ud+1)
+}
+
+// unwind removes element k from the path, redistributing the
+// permutation weights back over the shorter subsets, and returns the
+// shortened path. It is the inverse of the extension in walk.
+//
+//shahin:hotpath
+func unwind(m []pathElem, k int) []pathElem {
+	ud := len(m) - 1
+	one, zero := m[k].o, m[k].z
+	next := m[ud].w
+	for j := ud - 1; j >= 0; j-- {
+		if one != 0 {
+			tmp := m[j].w
+			m[j].w = next * float64(ud+1) / (float64(j+1) * one)
+			next = tmp - m[j].w*zero*float64(ud-j)/float64(ud+1)
+		} else {
+			m[j].w = m[j].w * float64(ud+1) / (zero * float64(ud-j))
+		}
+	}
+	for j := k; j < ud; j++ {
+		m[j].feat, m[j].z, m[j].o = m[j+1].feat, m[j+1].z, m[j+1].o
+	}
+	return m[:ud]
+}
+
+// maxBruteForceAttrs bounds BruteForce's subset enumeration; beyond ~20
+// attributes the 2^p walk is both slow and numerically pointless.
+const maxBruteForceAttrs = 20
+
+// BruteForce computes the same attribution as Explain by enumerating
+// all 2^p feature subsets — the Shapley definition applied directly to
+// the cover-weighted conditional value function the fast path uses. It
+// exists as the ground-truth oracle for tests and the bench experiment
+// and refuses schemas wider than 20 attributes.
+func (e *Explainer) BruteForce(x []float64) (*explain.Attribution, error) {
+	if len(x) != e.nattrs {
+		return nil, errWidth
+	}
+	p := e.nattrs
+	if p > maxBruteForceAttrs {
+		return nil, fmt.Errorf("exact: brute force limited to %d attributes, schema has %d", maxBruteForceAttrs, p)
+	}
+	target := e.predict.Predict(x)
+
+	// v(S) for every subset mask, summed over trees.
+	vals := make([]float64, 1<<p)
+	for mask := range vals {
+		v := 0.0
+		for _, nodes := range e.trees {
+			v += e.condExp(nodes, x, uint32(mask), int32(target), 0)
+		}
+		vals[mask] = v
+	}
+
+	// Shapley weights |S|! (p-1-|S|)! / p! by subset size.
+	fact := make([]float64, p+1)
+	fact[0] = 1
+	for i := 1; i <= p; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	phi := make([]float64, p)
+	for i := 0; i < p; i++ {
+		bit := uint32(1) << i
+		for mask := uint32(0); mask < uint32(len(vals)); mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			s := popcount(mask)
+			w := fact[s] * fact[p-1-s] / fact[p]
+			phi[i] += w * (vals[mask|bit] - vals[mask])
+		}
+	}
+	return e.finish(phi, target), nil
+}
+
+// condExp returns the cover-weighted conditional expectation of the
+// subtree at node j: features in mask follow x, the rest mix children
+// by background cover.
+func (e *Explainer) condExp(nodes []shNode, x []float64, mask uint32, target, j int32) float64 {
+	n := &nodes[j]
+	if n.feature < 0 {
+		if e.gbt {
+			return n.value
+		}
+		if n.class == target {
+			return 1
+		}
+		return 0
+	}
+	if mask&(1<<uint32(n.feature)) != 0 {
+		if x[n.feature] <= n.threshold {
+			return e.condExp(nodes, x, mask, target, n.left)
+		}
+		return e.condExp(nodes, x, mask, target, n.right)
+	}
+	if n.cover == 0 {
+		return 0
+	}
+	return nodes[n.left].cover/n.cover*e.condExp(nodes, x, mask, target, n.left) +
+		nodes[n.right].cover/n.cover*e.condExp(nodes, x, mask, target, n.right)
+}
+
+func popcount(m uint32) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}

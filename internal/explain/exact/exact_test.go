@@ -1,0 +1,273 @@
+package exact
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"shahin/internal/dataset"
+	"shahin/internal/gbt"
+	"shahin/internal/rf"
+)
+
+// tinyData builds a 4-feature binary dataset whose label mixes an XOR
+// of the first two features with a threshold on the third, so trained
+// trees split on repeated features along one path (exercising the
+// unwind logic).
+func tinyData(n int, seed int64) *dataset.Dataset {
+	s := &dataset.Schema{
+		Attrs: []dataset.Attr{
+			{Name: "x0", Kind: dataset.Numeric},
+			{Name: "x1", Kind: dataset.Numeric},
+			{Name: "x2", Kind: dataset.Numeric},
+			{Name: "x3", Kind: dataset.Numeric},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(s, n)
+	for i := 0; i < n; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		label := 0
+		if (x[0] > 0) != (x[1] > 0) || x[2] > 0.8 {
+			label = 1
+		}
+		d.AppendRow(x, label)
+	}
+	return d
+}
+
+func tinyForest(t *testing.T, d *dataset.Dataset, trees, depth int) *rf.Forest {
+	t.Helper()
+	f, err := rf.Train(d, rf.Config{NumTrees: trees, MaxDepth: depth, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func tinyStats(t *testing.T, d *dataset.Dataset) *dataset.Stats {
+	t.Helper()
+	st, err := dataset.Compute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMatchesBruteForceRF checks the fast path against the exponential
+// Shapley definition over the identical value function on a ≤4-feature,
+// ≤3-tree forest.
+func TestMatchesBruteForceRF(t *testing.T) {
+	d := tinyData(400, 1)
+	st := tinyStats(t, d)
+	f := tinyForest(t, d, 3, 4)
+	e, err := New(st, f, Config{Background: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		fast, err := e.Explain(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := e.BruteForce(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Class != slow.Class {
+			t.Fatalf("trial %d: class %d vs %d", trial, fast.Class, slow.Class)
+		}
+		if math.Abs(fast.Intercept-slow.Intercept) > 1e-9 {
+			t.Fatalf("trial %d: intercept %g vs %g", trial, fast.Intercept, slow.Intercept)
+		}
+		for i := range fast.Weights {
+			if math.Abs(fast.Weights[i]-slow.Weights[i]) > 1e-9 {
+				t.Fatalf("trial %d attr %d: fast %g brute %g", trial, i, fast.Weights[i], slow.Weights[i])
+			}
+		}
+	}
+}
+
+// TestMatchesBruteForceGBT does the same over a small boosted ensemble.
+func TestMatchesBruteForceGBT(t *testing.T) {
+	d := tinyData(400, 2)
+	st := tinyStats(t, d)
+	m, err := gbt.Train(d, gbt.Config{Rounds: 3, MaxDepth: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(st, m, Config{Background: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		fast, err := e.Explain(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := e.BruteForce(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fast.Weights {
+			if math.Abs(fast.Weights[i]-slow.Weights[i]) > 1e-9 {
+				t.Fatalf("trial %d attr %d: fast %g brute %g", trial, i, fast.Weights[i], slow.Weights[i])
+			}
+		}
+	}
+}
+
+// TestEfficiencyIdentity checks Σφ + intercept equals the explained
+// model output exactly: the target-class vote fraction for the forest,
+// the signed margin for the boosted ensemble.
+func TestEfficiencyIdentity(t *testing.T) {
+	d := tinyData(400, 3)
+	st := tinyStats(t, d)
+	f := tinyForest(t, d, 7, 6)
+	ef, err := New(st, f, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gbt.Train(d, gbt.Config{Rounds: 10, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := New(st, m, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+
+		at, err := ef.Explain(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := at.Intercept
+		for _, w := range at.Weights {
+			sum += w
+		}
+		want := f.Prob(x)[at.Class]
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("rf trial %d: Σφ+b = %g, vote fraction %g", trial, sum, want)
+		}
+
+		ag, err := eg.Explain(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum = ag.Intercept
+		for _, w := range ag.Weights {
+			sum += w
+		}
+		want = m.Score(x)
+		if ag.Class == 0 {
+			want = -want
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("gbt trial %d: Σφ+b = %g, signed margin %g", trial, sum, want)
+		}
+	}
+}
+
+// TestDeterminism checks same seed → byte-identical attributions, and
+// that two independently built explainers agree (the parallel workers'
+// situation).
+func TestDeterminism(t *testing.T) {
+	d := tinyData(300, 4)
+	st := tinyStats(t, d)
+	f := tinyForest(t, d, 5, 5)
+	x := []float64{0.3, -1.2, 0.9, 0.1}
+
+	run := func() []byte {
+		e, err := New(st, f, Config{Background: 128, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, err := e.Explain(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same seed, different output:\n%s\n%s", a, b)
+	}
+	e2, err := New(st, f, Config{Background: 128, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Explain(x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnwrapsInstrumentation verifies the counting/delay chain unwraps
+// and each Explain issues exactly one counted invocation.
+func TestUnwrapsInstrumentation(t *testing.T) {
+	d := tinyData(300, 5)
+	st := tinyStats(t, d)
+	f := tinyForest(t, d, 3, 4)
+	cnt := rf.NewCounting(rf.NewDelayed(f, 0))
+	if !Supported(cnt) {
+		t.Fatal("wrapped forest not supported")
+	}
+	e, err := New(st, cnt, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cnt.Invocations()
+	if _, err := e.Explain([]float64{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cnt.Invocations() - before; got != 1 {
+		t.Fatalf("Explain issued %d invocations, want 1", got)
+	}
+	if e.NodeVisits() == 0 {
+		t.Fatal("NodeVisits not counted")
+	}
+}
+
+// TestUnsupportedClassifier verifies opaque classifiers are rejected
+// with ErrUnsupported (the fallback trigger).
+func TestUnsupportedClassifier(t *testing.T) {
+	d := tinyData(300, 6)
+	st := tinyStats(t, d)
+	opaque := rf.Func{Classes: 2, F: func(x []float64) int { return 0 }}
+	if Supported(opaque) {
+		t.Fatal("opaque func reported supported")
+	}
+	if _, err := New(st, opaque, Config{}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("New error = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestWidthMismatch checks tuple-width validation on both paths.
+func TestWidthMismatch(t *testing.T) {
+	d := tinyData(300, 7)
+	st := tinyStats(t, d)
+	f := tinyForest(t, d, 2, 3)
+	e, err := New(st, f, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explain([]float64{1, 2}); err == nil {
+		t.Fatal("short tuple accepted by Explain")
+	}
+	if _, err := e.BruteForce([]float64{1, 2}); err == nil {
+		t.Fatal("short tuple accepted by BruteForce")
+	}
+}

@@ -48,7 +48,7 @@ func (c Config) fill() Config {
 // Model is a fitted boosted ensemble for binary classification.
 type Model struct {
 	Bias  float64 // initial log-odds
-	Trees []regTree
+	Trees []RegTree
 	Rate  float64
 }
 
@@ -151,13 +151,44 @@ func (m *Model) Accuracy(d *dataset.Dataset) float64 {
 	return float64(correct) / float64(d.NumRows())
 }
 
-// regTree is a regression tree in flat-array form fitting a Newton step:
-// leaf value = Σ grad / (Σ hess + λ).
-type regTree struct {
-	Nodes []regNode
+// MaxDepth returns the depth of the deepest tree in the ensemble (a
+// root-only tree has depth 0). The exact TreeSHAP walker sizes its path
+// arena with it.
+func (m *Model) MaxDepth() int {
+	max := 0
+	for i := range m.Trees {
+		if d := m.Trees[i].depth(0); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
-type regNode struct {
+// NumTrees returns the number of boosting rounds fitted.
+func (m *Model) NumTrees() int { return len(m.Trees) }
+
+// RegTree is a regression tree in flat-array form fitting a Newton step:
+// leaf value = Σ grad / (Σ hess + λ). It is exported so structure-aware
+// explainers (internal/explain/exact) can walk the fitted trees.
+type RegTree struct {
+	Nodes []RegNode
+}
+
+// depth returns the depth of the subtree rooted at node i.
+func (t *RegTree) depth(i int32) int {
+	nd := &t.Nodes[i]
+	if nd.Feature < 0 {
+		return 0
+	}
+	l, r := t.depth(nd.Left), t.depth(nd.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// RegNode is one flat-array tree node; Feature -1 marks a leaf.
+type RegNode struct {
 	Feature   int32 // -1 for leaves
 	Threshold float64
 	Left      int32
@@ -165,7 +196,7 @@ type regNode struct {
 	Value     float64 // leaf value
 }
 
-func (t *regTree) predict(x []float64) float64 {
+func (t *RegTree) predict(x []float64) float64 {
 	i := int32(0)
 	for {
 		nd := &t.Nodes[i]
@@ -184,10 +215,10 @@ const lambda = 1.0 // leaf regularisation
 
 // growRegTree builds one tree on the subsampled indices, greedily
 // maximising the gain of the Newton objective.
-func growRegTree(cols [][]float64, grad, hess []float64, idx []int, maxDepth, minLeaf int) regTree {
+func growRegTree(cols [][]float64, grad, hess []float64, idx []int, maxDepth, minLeaf int) RegTree {
 	b := &regBuilder{cols: cols, grad: grad, hess: hess, maxDepth: maxDepth, minLeaf: minLeaf}
 	b.build(idx, 0)
-	return regTree{Nodes: b.nodes}
+	return RegTree{Nodes: b.nodes}
 }
 
 type regBuilder struct {
@@ -195,7 +226,7 @@ type regBuilder struct {
 	grad, hess []float64
 	maxDepth   int
 	minLeaf    int
-	nodes      []regNode
+	nodes      []RegNode
 }
 
 func (b *regBuilder) build(idx []int, depth int) int32 {
@@ -226,7 +257,7 @@ func (b *regBuilder) build(idx []int, depth int) int32 {
 		return b.leaf(leafValue)
 	}
 	self := int32(len(b.nodes))
-	b.nodes = append(b.nodes, regNode{Feature: int32(feat), Threshold: thr})
+	b.nodes = append(b.nodes, RegNode{Feature: int32(feat), Threshold: thr})
 	left := b.build(idx[:lo], depth+1)
 	right := b.build(idx[lo:], depth+1)
 	b.nodes[self].Left = left
@@ -236,7 +267,7 @@ func (b *regBuilder) build(idx []int, depth int) int32 {
 
 func (b *regBuilder) leaf(value float64) int32 {
 	i := int32(len(b.nodes))
-	b.nodes = append(b.nodes, regNode{Feature: -1, Value: value})
+	b.nodes = append(b.nodes, RegNode{Feature: -1, Value: value})
 	return i
 }
 

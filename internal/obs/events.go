@@ -29,6 +29,17 @@ const (
 	// Pooled vs Fresh sample counts, CacheHits, DurMS, and — when the
 	// tuple was not answered cleanly — its degradation Status.
 	EventTupleExplained EventType = "tuple_explained"
+	// EventExactShap is the per-explanation provenance record of the
+	// exact TreeSHAP fast path, emitted in place of tuple_explained:
+	// Tuple index, Explainer, NodeVisits = tree nodes walked by the path
+	// recursion (the exact path's unit of work, replacing pooled sample
+	// counts), Fresh = the single target-class invocation, DurMS, Stages.
+	EventExactShap EventType = "exact_shap"
+	// EventExactFallback records that a run requested the exact
+	// explainer but the backend did not qualify (fault chain installed,
+	// or the classifier does not unwrap to an owned tree ensemble);
+	// State names the reason and the run proceeded with KernelSHAP.
+	EventExactFallback EventType = "exact_fallback"
 	// EventBreakerState records one circuit-breaker transition; State
 	// carries the edge ("closed->open", "open->half-open", ...).
 	EventBreakerState EventType = "breaker_state"
@@ -68,10 +79,14 @@ type Event struct {
 	Itemsets int    `json:"itemsets,omitempty"`
 	// Pooled counts samples served from the repository, Fresh the
 	// classifier invocations spent instead.
-	Pooled    int64   `json:"pooled_samples,omitempty"`
-	Fresh     int64   `json:"fresh_samples,omitempty"`
-	CacheHits int64   `json:"cache_hits,omitempty"`
-	DurMS     float64 `json:"dur_ms,omitempty"`
+	Pooled    int64 `json:"pooled_samples,omitempty"`
+	Fresh     int64 `json:"fresh_samples,omitempty"`
+	CacheHits int64 `json:"cache_hits,omitempty"`
+	// NodeVisits counts tree nodes walked by the exact TreeSHAP
+	// recursion for one tuple; it rides exact_shap events as that
+	// path's unit of work in place of pooled sample counts.
+	NodeVisits int64   `json:"node_visits,omitempty"`
+	DurMS      float64 `json:"dur_ms,omitempty"`
 	// Bytes is a byte quantity: the live heap of a gc_cycle or
 	// heap_sample event.
 	Bytes int64 `json:"bytes,omitempty"`

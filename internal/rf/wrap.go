@@ -50,6 +50,11 @@ func (c *Counting) Predict(x []float64) int {
 // Invocations returns the number of Predict calls so far.
 func (c *Counting) Invocations() int64 { return c.n.Load() }
 
+// Inner returns the wrapped classifier. Structure-aware explainers (the
+// exact TreeSHAP fast path) unwrap the instrumentation chain through
+// this method to reach a model whose trees they can walk directly.
+func (c *Counting) Inner() Classifier { return c.inner }
+
 // Reset zeroes the invocation counter.
 func (c *Counting) Reset() { c.n.Store(0) }
 
@@ -73,6 +78,12 @@ func NewDelayed(c Classifier, delay time.Duration) *Delayed {
 
 // NumClasses implements Classifier.
 func (d *Delayed) NumClasses() int { return d.inner.NumClasses() }
+
+// Inner returns the wrapped classifier. The delay simulates invocation
+// cost, not remoteness: the model underneath is still owned in-process,
+// so structure-aware explainers may unwrap through it (each Predict they
+// do issue still pays the calibrated delay).
+func (d *Delayed) Inner() Classifier { return d.inner }
 
 // Predict implements Classifier with the configured extra latency.
 func (d *Delayed) Predict(x []float64) int {

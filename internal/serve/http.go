@@ -19,18 +19,32 @@ import (
 // ExplainRequest is the POST /v1/explain body: one raw tuple in the
 // dataset's column order (categorical cells as value indices, numeric
 // cells as values — the same encoding shahin-datagen CSVs use).
+//
+// Explainer optionally names the explainer to answer with. Empty means
+// the server's configured kind. "exactshap" requests the exact TreeSHAP
+// fast path: when the backend qualifies (owned tree ensemble, no fault
+// chain) the tuple is answered directly — no queueing, no perturbation
+// sampling — with Source "exact"; otherwise it falls through to the
+// admission queue and the server's configured kind answers. Any other
+// name must match the server's kind or the request is rejected with
+// 400.
 type ExplainRequest struct {
-	Tuple []float64 `json:"tuple"`
+	Tuple     []float64 `json:"tuple"`
+	Explainer string    `json:"explainer,omitempty"`
 }
 
-// BatchRequest is the POST /v1/explain/batch body.
+// BatchRequest is the POST /v1/explain/batch body. Explainer applies to
+// every tuple in the batch, with the same semantics as
+// ExplainRequest.Explainer.
 type BatchRequest struct {
-	Tuples [][]float64 `json:"tuples"`
+	Tuples    [][]float64 `json:"tuples"`
+	Explainer string      `json:"explainer,omitempty"`
 }
 
 // ExplainResponse is the per-tuple answer. Status mirrors
 // core.Explanation.Status ("ok", "degraded", "failed"); Source is
-// "store" for exact-repeat hits answered from the explanation store and
+// "store" for exact-repeat hits answered from the explanation store,
+// "exact" for tuples answered by the exact TreeSHAP fast path, and
 // "computed" for tuples that went through a flush. WaitMS is the time
 // the request spent in the service, queueing included; Stages breaks it
 // down per pipeline stage, and TraceID is the request's trace identity
@@ -150,9 +164,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	wantExact, err := s.resolveExplainer(req.Explainer)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	tc, parent := requestTrace(r)
 	setTraceHeaders(w, tc)
-	resp, code := s.explainOne(r, req.Tuple, tc, parent)
+	resp, code := s.explainOne(r, req.Tuple, wantExact, tc, parent)
 	setRetryAfter(w, code)
 	writeJSON(w, code, resp)
 }
@@ -177,6 +196,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	wantExact, err := s.resolveExplainer(req.Explainer)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	// The batch shares one trace: the batch identity (echoed in the
 	// response headers) parents one child trace context per tuple, so
 	// every tuple's span carries the same trace ID with its own span ID.
@@ -190,7 +214,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp.Explanations[i], codes[i] = s.explainOne(r, tuple, itc, tc.SpanID)
+			resp.Explanations[i], codes[i] = s.explainOne(r, tuple, wantExact, itc, tc.SpanID)
 		}()
 	}
 	wg.Wait()
@@ -204,6 +228,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// resolveExplainer validates a request's optional explainer field
+// against the server's configuration. An exact-SHAP request is always
+// admissible (it degrades to the queue when the backend does not
+// qualify); any other named kind must match the kind the warm server
+// was started with, because the flush pipeline computes with exactly
+// one explainer.
+func (s *Server) resolveExplainer(name string) (wantExact bool, err error) {
+	if name == "" {
+		return false, nil
+	}
+	kind, err := core.ParseKind(name)
+	if err != nil {
+		return false, err
+	}
+	if kind == core.ExactSHAP {
+		return true, nil
+	}
+	if kind != s.warm.Kind() {
+		return false, fmt.Errorf("explainer %q not served here (server runs %s)", name, s.warm.Kind())
+	}
+	return false, nil
+}
+
 // checkTuple validates a request tuple's width against the explainer's
 // schema so malformed requests get 400 instead of a failed flush.
 func (s *Server) checkTuple(tuple []float64) error {
@@ -213,12 +260,12 @@ func (s *Server) checkTuple(tuple []float64) error {
 	return nil
 }
 
-// explainOne runs one tuple through the store fast path or the
-// admission queue and maps the outcome to an HTTP status code. Every
-// path — hit, computed, rejected, timed out — closes the request's
-// detached root span, offers it to the slow-request ring, and feeds the
-// SLO tracker.
-func (s *Server) explainOne(r *http.Request, tuple []float64, tc obs.TraceContext, parent string) (ExplainResponse, int) {
+// explainOne runs one tuple through the exact fast path, the store fast
+// path, or the admission queue, and maps the outcome to an HTTP status
+// code. Every path — exact, hit, computed, rejected, timed out — closes
+// the request's detached root span, offers it to the slow-request ring,
+// and feeds the SLO tracker.
+func (s *Server) explainOne(r *http.Request, tuple []float64, wantExact bool, tc obs.TraceContext, parent string) (ExplainResponse, int) {
 	start := time.Now() //shahinvet:allow walltime — request latency feeds the serving histograms
 	s.rec.Counter(obs.CounterServeRequests).Inc()
 	root := s.rec.StartDetachedSpan("request")
@@ -228,6 +275,35 @@ func (s *Server) explainOne(r *http.Request, tuple []float64, tc obs.TraceContex
 			s.rec.Histogram(obs.HistServeRequest).Observe(time.Since(start))
 		}
 	}()
+
+	// An exact-SHAP request bypasses both the store (which holds the
+	// server kind's answers) and the admission queue: the polynomial
+	// tree walk is cheaper than either. When the backend does not
+	// qualify, the request silently degrades to the normal queue path —
+	// the serving analogue of core's exact_fallback.
+	if wantExact && s.warm.ExactAvailable() {
+		if at, visits, err := s.warm.ExplainExact(tuple); err == nil {
+			dur := time.Since(start)
+			s.rec.Emit(obs.Event{
+				Type: obs.EventExactShap, Tuple: -1,
+				Explainer:  core.ExactSHAP.String(),
+				Fresh:      1,
+				NodeVisits: visits,
+				DurMS:      float64(dur) / float64(time.Millisecond),
+			})
+			exp := core.Explanation{Attribution: at, Status: core.StatusOK}
+			bd := obs.StageBreakdown{Solve: dur}
+			wait := s.finishRequest(root, tc, parent, start, &bd, "exact", exp.Status.String(), 0, http.StatusOK)
+			return ExplainResponse{
+				Explanation: exp,
+				Status:      exp.Status.String(),
+				Source:      "exact",
+				WaitMS:      wait,
+				TraceID:     tc.TraceID,
+				Stages:      stagesPtr(bd),
+			}, http.StatusOK
+		}
+	}
 
 	if exp, ok := s.lookup(tuple); ok {
 		s.rec.Counter(obs.CounterServeStoreHits).Inc()
@@ -312,7 +388,7 @@ func (s *Server) finishRequest(root *obs.Span, tc obs.TraceContext, parent strin
 	var sbd obs.StageBreakdown
 	if bd != nil && !bd.IsZero() {
 		if residual := elapsed - bd.Total(); residual > 0 {
-			if source == "store" {
+			if source == "store" || source == "exact" {
 				bd.Solve += residual
 			} else {
 				bd.BatchAssembly += residual

@@ -9,6 +9,11 @@
 // reuses them across every explanation, typically cutting classifier
 // invocations by an order of magnitude without changing the explanations.
 //
+// Models trained in-process (the built-in random forest and
+// gradient-boosted trees) additionally unlock ExactSHAP: a
+// polynomial-time TreeSHAP walk over the owned trees that produces
+// exact Shapley values with no perturbation sampling at all.
+//
 // # Quick start
 //
 //	train, test := data.Split(1.0/3, rng)
@@ -42,6 +47,7 @@ import (
 	"shahin/internal/dataset"
 	"shahin/internal/explain"
 	"shahin/internal/explain/anchor"
+	"shahin/internal/explain/exact"
 	"shahin/internal/explain/lime"
 	"shahin/internal/explain/shap"
 	"shahin/internal/explain/sshap"
@@ -147,6 +153,9 @@ type (
 	// SSHAPConfig tunes the Sampling-Shapley explainer (permutations,
 	// base-rate samples).
 	SSHAPConfig = sshap.Config
+	// ExactConfig tunes the exact TreeSHAP fast path (background
+	// sample size for the cover weights, seed).
+	ExactConfig = exact.Config
 )
 
 // Observability: set Options.Recorder to collect stage-scoped spans,
@@ -217,9 +226,15 @@ const (
 	// SampleSHAP estimates Shapley values by permutation sampling — an
 	// extension beyond the paper's three algorithms.
 	SampleSHAP = core.SampleSHAP
+	// ExactSHAP computes exact Shapley values with a polynomial-time
+	// TreeSHAP walk over the owned tree ensemble — no perturbation
+	// sampling at all. Legal only against a local tree-backed
+	// classifier without fault injection; other runs silently fall
+	// back to KernelSHAP with a provenance marker.
+	ExactSHAP = core.ExactSHAP
 )
 
-// ParseKind converts "lime", "anchor", or "shap" to a Kind.
+// ParseKind converts "lime", "anchor", "shap", or "exactshap" to a Kind.
 func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
 
 // ComputeStats derives the training-distribution statistics every
